@@ -1,0 +1,9 @@
+"""Figure 10: GS-only vs RAS-only vs GRASS for deadline-bound jobs."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_figure10_switching_deadline(benchmark):
+    result = regenerate(benchmark, "figure10")
+    policies = {row["policy"] for row in result.rows}
+    assert policies == {"gs", "ras", "grass"}

@@ -1,0 +1,12 @@
+"""Figure 11: GS-only vs RAS-only vs GRASS for error-bound jobs."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_figure11_switching_error(benchmark):
+    result = regenerate(benchmark, "figure11")
+    grass_rows = [row["overall (%)"] for row in result.rows if row["policy"] == "grass"]
+    gs_rows = [row["overall (%)"] for row in result.rows if row["policy"] == "gs"]
+    assert grass_rows and gs_rows
+    # GRASS must not be dominated by always-greedy speculation overall.
+    assert sum(grass_rows) >= sum(gs_rows) - 10.0

@@ -1,0 +1,9 @@
+"""Figure 12: learned switching vs the static two-wave strawman."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_figure12_strawman(benchmark):
+    result = regenerate(benchmark, "figure12")
+    policies = {row["policy"] for row in result.rows}
+    assert policies == {"grass", "grass-strawman"}

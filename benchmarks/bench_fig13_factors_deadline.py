@@ -1,0 +1,8 @@
+"""Figure 13: switching-factor ablation (Best-1 / Best-2 / all three), deadline jobs."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_figure13_factors_deadline(benchmark):
+    result = regenerate(benchmark, "figure13")
+    assert {row["factors"] for row in result.rows} == {"best-1", "best-2", "all-3"}

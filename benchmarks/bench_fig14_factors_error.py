@@ -1,0 +1,8 @@
+"""Figure 14: switching-factor ablation (Best-1 / Best-2 / all three), error jobs."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_figure14_factors_error(benchmark):
+    result = regenerate(benchmark, "figure14")
+    assert {row["factors"] for row in result.rows} == {"best-1", "best-2", "all-3"}

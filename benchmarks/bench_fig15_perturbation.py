@@ -1,0 +1,9 @@
+"""Figure 15: sensitivity of GRASS to the perturbation probability ξ."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_figure15_perturbation(benchmark):
+    result = regenerate(benchmark, "figure15")
+    xis = {row["xi (%)"] for row in result.rows}
+    assert 0.0 in xis and 15.0 in xis

@@ -1,0 +1,11 @@
+"""Figure 1: GS vs RAS worked example for a deadline-bound job."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_figure1_deadline_example(benchmark):
+    result = regenerate(benchmark, "figure1")
+    loose = {row["policy"]: row["tasks completed"] for row in result.rows if "loose" in row["deadline"]}
+    # The figure's point: with a loose deadline RAS completes at least as many
+    # tasks as GS because it accounts for the straggler's opportunity cost.
+    assert loose["ras"] >= loose["gs"]

@@ -1,0 +1,9 @@
+"""Figure 2: GS vs RAS worked example for an error-bound job."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_figure2_error_example(benchmark):
+    result = regenerate(benchmark, "figure2")
+    assert len(result.rows) == 4
+    assert all(row["duration"] > 0 for row in result.rows)

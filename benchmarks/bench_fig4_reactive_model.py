@@ -1,0 +1,14 @@
+"""Figure 4: near-optimality of GS and RAS in the reactive ω-policy model."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_figure4_reactive_model(benchmark):
+    result = regenerate(benchmark, "figure4")
+    # For single-wave jobs, small omega (aggressive speculation, the GS end of
+    # the spectrum) must not be far from optimal; for 5-wave jobs never
+    # speculating early (very large omega) must not be optimal either.
+    one_wave = [row for row in result.rows if row["waves"] == 1]
+    five_waves = [row for row in result.rows if row["waves"] == 5]
+    assert min(row["time/optimal"] for row in one_wave) <= 1.05
+    assert five_waves[0]["time/optimal"] >= five_waves[2]["time/optimal"] - 0.25

@@ -1,0 +1,11 @@
+"""Figure 5: GRASS's accuracy improvement for deadline-bound jobs."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_figure5_deadline_gains(benchmark):
+    result = regenerate(benchmark, "figure5")
+    overall = [row["overall (%)"] for row in result.rows if row["baseline"] == "late"]
+    # GRASS should improve over LATE on average across the four panels
+    # (paper: 34-47%; the simulator reproduces the direction and ordering).
+    assert sum(overall) / len(overall) > 0.0

@@ -1,0 +1,9 @@
+"""Figure 6: GRASS's gains binned by deadline slack factor and error bound."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_figure6_bound_bins(benchmark):
+    result = regenerate(benchmark, "figure6")
+    assert any(row["bound"] == "deadline" for row in result.rows)
+    assert any(row["bound"] == "error" for row in result.rows)

@@ -1,0 +1,10 @@
+"""Figure 7: GRASS's speedup for error-bound jobs."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_figure7_error_gains(benchmark):
+    result = regenerate(benchmark, "figure7")
+    overall = [row["overall (%)"] for row in result.rows if row["baseline"] == "late"]
+    # GRASS speeds up error-bound jobs versus LATE (paper: 24-38%).
+    assert sum(overall) / len(overall) > 5.0

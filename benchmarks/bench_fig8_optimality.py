@@ -1,0 +1,12 @@
+"""Figure 8: GRASS approaches the informed oracle scheduler."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_figure8_optimality(benchmark):
+    result = regenerate(benchmark, "figure8")
+    grass = [row["overall (%)"] for row in result.rows if row["policy"] == "grass"]
+    oracle = [row["overall (%)"] for row in result.rows if row["policy"] == "oracle"]
+    # The oracle bounds GRASS from above; GRASS should capture a meaningful
+    # share of the oracle's improvement.
+    assert len(grass) == len(oracle) == 2

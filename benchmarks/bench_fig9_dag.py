@@ -1,0 +1,9 @@
+"""Figure 9: GRASS's gains across job DAG lengths 2-6."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_figure9_dag(benchmark):
+    result = regenerate(benchmark, "figure9")
+    lengths = {row["dag length"] for row in result.rows}
+    assert lengths == {2, 3, 4, 5, 6}

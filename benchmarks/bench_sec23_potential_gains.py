@@ -1,0 +1,11 @@
+"""§2.3: potential gains of an informed scheduler over LATE and Mantri."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_sec23_potential_gains(benchmark):
+    result = regenerate(benchmark, "sec2.3")
+    # The oracle should beat the production baselines on average; the paper
+    # reports 48%/44% (accuracy) and 32%/40% (speedup) headroom.
+    improvements = [row["oracle improvement (%)"] for row in result.rows]
+    assert sum(improvements) / len(improvements) > 0.0

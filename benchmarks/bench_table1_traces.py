@@ -1,0 +1,10 @@
+"""Table 1: properties of the synthetic Facebook and Bing trace stand-ins."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_table1_traces(benchmark):
+    result = regenerate(benchmark, "table1")
+    assert {row["trace"] for row in result.rows} == {"facebook", "bing"}
+    # The straggler calibration target: slowest task several times the median.
+    assert all(row["slowest/median"] > 2.0 for row in result.rows)

@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper via
+:mod:`repro.experiments.figures`.  The pytest-benchmark fixture measures the
+wall-clock cost of regenerating it (one round — these are experiments, not
+micro-benchmarks), and the resulting rows are printed so a benchmark run
+doubles as a reproduction run.  ``GRASS_BENCH_SCALE`` selects the experiment
+scale: ``quick`` (default, minutes for the whole suite), ``default`` or
+``paper``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.figures import FigureResult, run_figure
+from repro.experiments.runner import ExperimentScale
+
+_SCALES = {
+    "quick": ExperimentScale.quick,
+    "default": ExperimentScale,
+    "paper": ExperimentScale.paper,
+}
+
+
+def bench_scale() -> ExperimentScale:
+    """The experiment scale benchmarks run at (env: GRASS_BENCH_SCALE)."""
+    name = os.environ.get("GRASS_BENCH_SCALE", "quick")
+    return _SCALES.get(name, ExperimentScale.quick)()
+
+
+def regenerate(benchmark, figure_name: str) -> FigureResult:
+    """Regenerate one figure under the benchmark fixture and print its table."""
+    scale = bench_scale()
+    result = benchmark.pedantic(
+        run_figure, args=(figure_name, scale), rounds=1, iterations=1
+    )
+    print()
+    print(result.format_table())
+    return result
+
+
+@pytest.fixture
+def scale() -> ExperimentScale:
+    return bench_scale()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is configured via ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on environments whose setuptools/pip cannot
+build editable wheels (e.g. offline boxes without the ``wheel`` package),
+falling back to the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

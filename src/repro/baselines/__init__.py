@@ -1,0 +1,22 @@
+"""Baseline speculation policies the paper compares against.
+
+* :mod:`repro.baselines.none` — no speculation at all (lower bound).
+* :mod:`repro.baselines.late` — LATE (Zaharia et al., OSDI 2008), the
+  mitigation deployed in the Facebook cluster.
+* :mod:`repro.baselines.mantri` — Mantri (Ananthanarayanan et al., OSDI
+  2010), the mitigation deployed in the Bing cluster.
+* :mod:`repro.baselines.oracle` — an informed near-optimal reference that
+  sees true task durations (the paper's "optimal scheduler" in §6.2.3).
+"""
+
+from repro.baselines.late import LatePolicy
+from repro.baselines.mantri import MantriPolicy
+from repro.baselines.none import NoSpeculationPolicy
+from repro.baselines.oracle import OraclePolicy
+
+__all__ = [
+    "LatePolicy",
+    "MantriPolicy",
+    "NoSpeculationPolicy",
+    "OraclePolicy",
+]

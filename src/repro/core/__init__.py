@@ -1,0 +1,26 @@
+"""Core task/job model and the GRASS speculation policies.
+
+This package holds the paper's primary contribution:
+
+* :mod:`repro.core.task` / :mod:`repro.core.job` — the task, copy and job
+  abstractions shared by every scheduler.
+* :mod:`repro.core.estimators` — the ``trem`` / ``tnew`` estimators of §5.1.
+* :mod:`repro.core.policies` — GS, RAS and GRASS (Pseudocode 1 & 2, §4).
+"""
+
+from repro.core.bounds import ApproximationBound, BoundType
+from repro.core.job import Job, JobPhaseSpec, JobSpec
+from repro.core.task import CopyState, Task, TaskCopy, TaskSpec, TaskState
+
+__all__ = [
+    "ApproximationBound",
+    "BoundType",
+    "Job",
+    "JobSpec",
+    "JobPhaseSpec",
+    "Task",
+    "TaskCopy",
+    "TaskSpec",
+    "TaskState",
+    "CopyState",
+]

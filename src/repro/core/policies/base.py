@@ -1,0 +1,226 @@
+"""Policy interface shared by GS, RAS, GRASS and the baseline schedulers.
+
+The simulator asks the job's policy for a decision each time the job has a
+free slot.  The policy only sees a :class:`SchedulingView`: estimated
+``trem`` / ``tnew`` per unfinished task of the current phase, the remaining
+approximation bound, the job's wave width, cluster utilisation and the
+realised estimator accuracy.  It never sees true durations — only the oracle
+baseline is given those, via a separate view builder.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.bounds import ApproximationBound
+from repro.core.job import Job, JobResult
+from repro.core.task import Task
+
+
+@dataclass
+class TaskSnapshot:
+    """A policy-facing view of one unfinished task.
+
+    ``saving`` is RAS's resource-savings criterion from Pseudocode 1:
+    ``c * trem - (c + 1) * tnew`` where ``c`` is the number of running
+    copies.  For a pending task (``c == 0``) speculation is meaningless and
+    ``saving`` is defined as 0 so pending tasks act as the neutral default.
+    """
+
+    task: Task
+    running: bool
+    copies: int
+    trem: float
+    tnew: float
+
+    def __post_init__(self) -> None:
+        if self.tnew <= 0:
+            raise ValueError("tnew must be positive")
+        if self.running and self.trem <= 0:
+            self.trem = 1e-6
+
+    @property
+    def task_id(self) -> int:
+        return self.task.task_id
+
+    @property
+    def saving(self) -> float:
+        """Resource savings of launching one more copy (0 for pending tasks)."""
+        if not self.running:
+            return 0.0
+        return self.copies * self.trem - (self.copies + 1) * self.tnew
+
+    @property
+    def effective_duration(self) -> float:
+        """min(trem, tnew): the soonest this task could plausibly finish."""
+        if not self.running:
+            return self.tnew
+        return min(self.trem, self.tnew)
+
+    @property
+    def speculation_beneficial(self) -> bool:
+        """GS's speculation test: a new copy is expected to beat the running one."""
+        return self.running and self.tnew < self.trem
+
+
+@dataclass
+class SchedulingView:
+    """Everything a policy may look at when choosing the next task to launch."""
+
+    now: float
+    job: Job
+    tasks: List[TaskSnapshot]
+    bound: ApproximationBound
+    remaining_deadline: Optional[float]
+    remaining_required_tasks: int
+    wave_width: int
+    cluster_utilization: float
+    estimator_accuracy: float
+    phase_index: int = 0
+    is_input_phase: bool = True
+
+    def pending(self) -> List[TaskSnapshot]:
+        return [snap for snap in self.tasks if not snap.running]
+
+    def running(self) -> List[TaskSnapshot]:
+        return [snap for snap in self.tasks if snap.running]
+
+    def elapsed(self) -> float:
+        return self.job.elapsed(self.now)
+
+
+@dataclass
+class SchedulingDecision:
+    """The policy's answer: launch a copy of ``snapshot.task``.
+
+    ``speculative`` is True when the task already has a running copy, i.e.
+    the launch is a speculative duplicate rather than an original.
+    """
+
+    snapshot: TaskSnapshot
+
+    @property
+    def task(self) -> Task:
+        return self.snapshot.task
+
+    @property
+    def speculative(self) -> bool:
+        return self.snapshot.running
+
+
+class SpeculationPolicy(abc.ABC):
+    """Base class for all speculation policies.
+
+    A policy instance is shared across the jobs of one simulation so it can
+    carry state between jobs (GRASS's sample store does exactly that); the
+    per-job hooks tell it when jobs start and finish.
+    """
+
+    name: str = "policy"
+
+    def on_job_start(self, job: Job, now: float) -> None:
+        """Called when a job is admitted; default is stateless."""
+
+    def on_job_finish(self, job: Job, result: JobResult, now: float) -> None:
+        """Called when a job finishes (bound met or deadline hit)."""
+
+    @abc.abstractmethod
+    def choose_task(self, view: SchedulingView) -> Optional[SchedulingDecision]:
+        """Pick the next task copy to launch, or None to leave the slot idle."""
+
+    def label(self) -> str:
+        """Label used in experiment reports."""
+        return self.name
+
+
+def make_decision(snapshot: Optional[TaskSnapshot]) -> Optional[SchedulingDecision]:
+    """Helper: wrap a snapshot (or None) into a decision."""
+    if snapshot is None:
+        return None
+    return SchedulingDecision(snapshot=snapshot)
+
+
+def deadline_candidates(
+    view: SchedulingView, resource_aware: bool
+) -> List[TaskSnapshot]:
+    """Pruning stage of Pseudocode 1 (deadline-bound jobs).
+
+    Tasks whose fresh copy cannot finish within the remaining deadline are
+    dropped.  Running tasks are kept only when speculation passes the
+    policy's test: ``tnew < trem`` for GS, positive resource savings for RAS.
+    Pending tasks are always kept (they do not involve speculation).
+    """
+    remaining = view.remaining_deadline
+    candidates: List[TaskSnapshot] = []
+    for snap in view.tasks:
+        if remaining is not None and snap.tnew > remaining:
+            continue
+        if snap.running:
+            if resource_aware:
+                if snap.saving > 0:
+                    candidates.append(snap)
+            else:
+                if snap.speculation_beneficial:
+                    candidates.append(snap)
+        else:
+            candidates.append(snap)
+    return candidates
+
+
+def deadline_fallback(
+    view: SchedulingView, max_copies_per_task: int = 4
+) -> Optional[TaskSnapshot]:
+    """Last-resort choice when every task is pruned by the deadline filter.
+
+    The pruning stage drops tasks whose *expected* fresh-copy duration
+    exceeds the remaining deadline, but durations are stochastic: leaving the
+    slot idle guarantees zero completions from it, whereas launching the
+    shortest pending task still has a chance of beating the deadline.  Both
+    GS and RAS therefore fall back to the pending task with the lowest
+    ``tnew`` (and, failing that, to a beneficial duplicate) rather than
+    idling — the slot has nothing better to do.
+    """
+    pending = view.pending()
+    if pending:
+        return min(pending, key=lambda snap: (snap.tnew, snap.task_id))
+    beneficial = [
+        snap
+        for snap in view.running()
+        if snap.speculation_beneficial and snap.copies < max_copies_per_task
+    ]
+    if beneficial:
+        return min(beneficial, key=lambda snap: (snap.tnew, snap.task_id))
+    return None
+
+
+def error_candidates(
+    view: SchedulingView, resource_aware: bool
+) -> List[TaskSnapshot]:
+    """Pruning stage of Pseudocode 2 (error-bound jobs).
+
+    Only the tasks that are the earliest to contribute to the error bound are
+    considered: tasks are sorted by effective duration (min of ``trem`` and
+    ``tnew``) and the first ``(1 - error) * count`` are kept, counting tasks
+    that already completed towards the requirement.
+    """
+    needed = view.remaining_required_tasks
+    if needed <= 0:
+        # The input-phase bound is met (or this is an intermediate phase where
+        # every remaining task is required): all unfinished tasks qualify.
+        needed = len(view.tasks)
+    ordered = sorted(view.tasks, key=lambda snap: (snap.effective_duration, snap.task_id))
+    earliest = ordered[:needed]
+    candidates: List[TaskSnapshot] = []
+    for snap in earliest:
+        if snap.running:
+            if resource_aware:
+                if snap.saving > 0:
+                    candidates.append(snap)
+            else:
+                if snap.speculation_beneficial:
+                    candidates.append(snap)
+        else:
+            candidates.append(snap)
+    return candidates

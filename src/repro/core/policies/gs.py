@@ -1,0 +1,79 @@
+"""Greedy Speculative (GS) scheduling — Pseudocode 1 & 2 with ``OC = 0``.
+
+GS greedily picks the task (original or speculative copy) that improves the
+approximation goal the earliest *right now*:
+
+* Deadline-bound jobs: Shortest Job First over the pruned candidates — the
+  task with the smallest ``tnew`` that still fits within the deadline.
+* Error-bound jobs: Longest Job First over the earliest-contributing tasks —
+  the task with the largest ``trem``, so that the straggler holding back the
+  error bound gets a fresh copy.
+
+Speculative copies are admitted whenever the new copy is expected to beat the
+running one (``tnew < trem``); the opportunity cost of burning a slot on the
+duplicate is ignored, which is exactly what RAS fixes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.policies.base import (
+    SchedulingDecision,
+    SchedulingView,
+    SpeculationPolicy,
+    TaskSnapshot,
+    deadline_candidates,
+    deadline_fallback,
+    error_candidates,
+    make_decision,
+)
+
+
+class GreedySpeculative(SpeculationPolicy):
+    """The GS policy of §3.1."""
+
+    name = "gs"
+
+    def __init__(self, max_copies_per_task: int = 4) -> None:
+        if max_copies_per_task < 1:
+            raise ValueError("max_copies_per_task must be at least 1")
+        self.max_copies_per_task = max_copies_per_task
+
+    # -- selection ----------------------------------------------------------------
+
+    def _admissible(self, candidates: List[TaskSnapshot]) -> List[TaskSnapshot]:
+        """Drop running tasks that already hit the per-task copy cap."""
+        return [
+            snap
+            for snap in candidates
+            if not snap.running or snap.copies < self.max_copies_per_task
+        ]
+
+    def _choose_deadline(self, view: SchedulingView) -> Optional[TaskSnapshot]:
+        candidates = self._admissible(deadline_candidates(view, resource_aware=False))
+        if not candidates:
+            # Nothing is expected to fit in the remaining time: fill the slot
+            # anyway rather than idling (durations are stochastic).
+            return deadline_fallback(view, self.max_copies_per_task)
+        # Selection stage: lowest tnew first.  Ties favour originals over
+        # speculative duplicates (a duplicate can never beat an equally fast
+        # original), then break deterministically on task id.
+        return min(candidates, key=lambda snap: (snap.tnew, snap.running, snap.task_id))
+
+    def _choose_error(self, view: SchedulingView) -> Optional[TaskSnapshot]:
+        candidates = self._admissible(error_candidates(view, resource_aware=False))
+        if not candidates:
+            return None
+        # Selection stage: highest trem first (pending tasks use tnew as trem);
+        # ties favour originals over speculative duplicates.
+        def sort_key(snap: TaskSnapshot):
+            remaining = snap.trem if snap.running else snap.tnew
+            return (-remaining, snap.running, snap.task_id)
+
+        return min(candidates, key=sort_key)
+
+    def choose_task(self, view: SchedulingView) -> Optional[SchedulingDecision]:
+        if view.bound.is_deadline:
+            return make_decision(self._choose_deadline(view))
+        return make_decision(self._choose_error(view))

@@ -1,0 +1,81 @@
+"""Resource Aware Speculative (RAS) scheduling — Pseudocode 1 & 2 with ``OC = 1``.
+
+RAS accounts for the opportunity cost of speculation: a duplicate is launched
+only when it saves both time *and* resources, i.e. when the total slot-time
+spent with the duplicate is smaller than letting the running copies finish:
+
+    saving = c * trem - (c + 1) * tnew > 0
+
+Among speculation candidates RAS picks the one with the highest saving.  When
+no speculation passes the savings test RAS falls back to the same default as
+GS: the pending task with the lowest ``tnew`` within the deadline for
+deadline-bound jobs, or the pending earliest-contributing task with the
+highest expected duration for error-bound jobs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.policies.base import (
+    SchedulingDecision,
+    SchedulingView,
+    SpeculationPolicy,
+    TaskSnapshot,
+    deadline_candidates,
+    deadline_fallback,
+    error_candidates,
+    make_decision,
+)
+
+
+class ResourceAwareSpeculative(SpeculationPolicy):
+    """The RAS policy of §3.1."""
+
+    name = "ras"
+
+    def __init__(self, max_copies_per_task: int = 4) -> None:
+        if max_copies_per_task < 1:
+            raise ValueError("max_copies_per_task must be at least 1")
+        self.max_copies_per_task = max_copies_per_task
+
+    def _admissible(self, candidates: List[TaskSnapshot]) -> List[TaskSnapshot]:
+        return [
+            snap
+            for snap in candidates
+            if not snap.running or snap.copies < self.max_copies_per_task
+        ]
+
+    @staticmethod
+    def _split(candidates: List[TaskSnapshot]):
+        speculative = [snap for snap in candidates if snap.running]
+        pending = [snap for snap in candidates if not snap.running]
+        return speculative, pending
+
+    def _choose_deadline(self, view: SchedulingView) -> Optional[TaskSnapshot]:
+        candidates = self._admissible(deadline_candidates(view, resource_aware=True))
+        if not candidates:
+            # Nothing is expected to fit in the remaining time: fill the slot
+            # anyway rather than idling (durations are stochastic).
+            return deadline_fallback(view, self.max_copies_per_task)
+        speculative, pending = self._split(candidates)
+        if speculative:
+            # Selection stage: highest resource saving first.
+            return min(speculative, key=lambda snap: (-snap.saving, snap.task_id))
+        # Default: lowest tnew within the deadline, same as GS.
+        return min(pending, key=lambda snap: (snap.tnew, snap.task_id))
+
+    def _choose_error(self, view: SchedulingView) -> Optional[TaskSnapshot]:
+        candidates = self._admissible(error_candidates(view, resource_aware=True))
+        if not candidates:
+            return None
+        speculative, pending = self._split(candidates)
+        if speculative:
+            return min(speculative, key=lambda snap: (-snap.saving, snap.task_id))
+        # Default: highest expected duration among the earliest contributors.
+        return min(pending, key=lambda snap: (-snap.tnew, snap.task_id))
+
+    def choose_task(self, view: SchedulingView) -> Optional[SchedulingDecision]:
+        if view.bound.is_deadline:
+            return make_decision(self._choose_deadline(view))
+        return make_decision(self._choose_error(view))

@@ -1,0 +1,22 @@
+"""DAG-of-tasks helpers (§5.2).
+
+Jobs are DAGs of phases: input tasks (map / extract) read from storage and
+intermediate tasks (reduce / join) aggregate their outputs.  The core
+:class:`~repro.core.job.Job` already models phases; this package provides
+convenience builders for common DAG shapes and the deadline-apportioning
+helper the engine uses to derive the input-phase deadline.
+"""
+
+from repro.dag.builder import (
+    chain_job,
+    estimate_intermediate_time,
+    map_only_job,
+    map_reduce_job,
+)
+
+__all__ = [
+    "map_only_job",
+    "map_reduce_job",
+    "chain_job",
+    "estimate_intermediate_time",
+]

@@ -1,0 +1,98 @@
+"""Builders for common job DAG shapes and deadline apportioning (§5.2)."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.core.bounds import ApproximationBound
+from repro.core.job import JobPhaseSpec, JobSpec
+from repro.utils.stats import median
+
+
+def map_only_job(
+    job_id: int,
+    task_works: Sequence[float],
+    bound: ApproximationBound,
+    arrival_time: float = 0.0,
+    max_slots: Optional[int] = None,
+    name: str = "",
+) -> JobSpec:
+    """A single-phase job: only input tasks (a pure map / extract job)."""
+    phase = JobPhaseSpec(phase_index=0, task_works=tuple(task_works))
+    return JobSpec(
+        job_id=job_id,
+        arrival_time=arrival_time,
+        phases=(phase,),
+        bound=bound,
+        name=name or f"map-only-{job_id}",
+        max_slots=max_slots,
+    )
+
+
+def map_reduce_job(
+    job_id: int,
+    map_works: Sequence[float],
+    reduce_works: Sequence[float],
+    bound: ApproximationBound,
+    arrival_time: float = 0.0,
+    max_slots: Optional[int] = None,
+    name: str = "",
+) -> JobSpec:
+    """A two-phase job: input (map) tasks followed by intermediate (reduce) tasks."""
+    phases = (
+        JobPhaseSpec(phase_index=0, task_works=tuple(map_works)),
+        JobPhaseSpec(phase_index=1, task_works=tuple(reduce_works)),
+    )
+    return JobSpec(
+        job_id=job_id,
+        arrival_time=arrival_time,
+        phases=phases,
+        bound=bound,
+        name=name or f"map-reduce-{job_id}",
+        max_slots=max_slots,
+    )
+
+
+def chain_job(
+    job_id: int,
+    input_works: Sequence[float],
+    intermediate_phase_works: Sequence[Sequence[float]],
+    bound: ApproximationBound,
+    arrival_time: float = 0.0,
+    max_slots: Optional[int] = None,
+    name: str = "",
+) -> JobSpec:
+    """A chain DAG of arbitrary length: one input phase, N intermediate phases.
+
+    Figure 9 varies the DAG length between 2 and 6; this builder constructs
+    those jobs directly.
+    """
+    phases = [JobPhaseSpec(phase_index=0, task_works=tuple(input_works))]
+    for offset, works in enumerate(intermediate_phase_works, start=1):
+        phases.append(JobPhaseSpec(phase_index=offset, task_works=tuple(works)))
+    return JobSpec(
+        job_id=job_id,
+        arrival_time=arrival_time,
+        phases=tuple(phases),
+        bound=bound,
+        name=name or f"chain-{job_id}",
+        max_slots=max_slots,
+    )
+
+
+def estimate_intermediate_time(spec: JobSpec, allocation: int) -> float:
+    """Estimated total time of every intermediate phase (§5.2).
+
+    Intermediate tasks "perform similar functions across jobs" and "have
+    relatively fewer stragglers", so a wave count times the median task work
+    is the estimate both the paper and the engine use when apportioning a
+    deadline between the input phase and the rest of the DAG.
+    """
+    if allocation <= 0:
+        raise ValueError("allocation must be positive")
+    total = 0.0
+    for phase in spec.intermediate_phases:
+        waves = math.ceil(phase.task_count / allocation)
+        total += waves * median(list(phase.task_works))
+    return total

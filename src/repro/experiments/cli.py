@@ -1,0 +1,63 @@
+"""Command-line entry point: ``grass-experiments <figure> [options]``.
+
+Examples::
+
+    grass-experiments figure5
+    grass-experiments figure7 --scale quick
+    grass-experiments all --scale default
+
+The output is the text table the corresponding :mod:`repro.experiments.figures`
+function produces; EXPERIMENTS.md records one full run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.figures import FIGURES, run_figure
+from repro.experiments.runner import ExperimentScale
+
+_SCALES = {
+    "quick": ExperimentScale.quick,
+    "default": ExperimentScale,
+    "paper": ExperimentScale.paper,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="grass-experiments",
+        description="Regenerate the tables and figures of the GRASS paper.",
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(FIGURES) + ["all"],
+        help="which experiment to run ('all' runs every one)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="default",
+        help="experiment scale: quick (smoke), default (laptop), paper (overnight)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    scale = _SCALES[args.scale]()
+    names = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    for name in names:
+        started = time.time()
+        result = run_figure(name, scale)
+        elapsed = time.time() - started
+        print(result.format_table())
+        print(f"({name} regenerated in {elapsed:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,329 @@
+"""Runs workloads under speculation policies and computes the paper's metrics.
+
+The central object is :class:`ComparisonResult`: per-policy job results over
+the *same* workload (same jobs, same straggler draws), from which the paper's
+improvement percentages — accuracy gains for deadline-bound jobs, speedups
+for error-bound jobs — are derived overall, per job bin, per deadline bin and
+per error bin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.core.bounds import BoundType
+from repro.core.job import JobResult
+from repro.core.policies.base import SpeculationPolicy
+from repro.experiments.policies import make_policy, needs_oracle_estimates
+from repro.simulator.cluster import ClusterConfig
+from repro.simulator.engine import Simulation, SimulationConfig
+from repro.simulator.metrics import MetricsCollector
+from repro.workload.bins import deadline_bin_label, error_bin_label
+from repro.workload.synthetic import GeneratedWorkload, WorkloadConfig, generate_workload
+from repro.utils.stats import mean
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs that trade experiment fidelity for runtime.
+
+    The defaults match the benchmark harness (laptop-scale, a couple of
+    minutes per figure); ``paper()`` gives a larger setting for overnight
+    runs closer to the trace-driven simulations of §6.
+    """
+
+    num_jobs: int = 60
+    size_scale: float = 0.25
+    max_tasks_per_job: int = 400
+    num_machines: int = 150
+    seeds: Sequence[int] = (1,)
+    warmup_jobs: int = 40
+
+    @classmethod
+    def quick(cls) -> "ExperimentScale":
+        """A very small scale for unit tests and smoke benchmarks."""
+        return cls(
+            num_jobs=16,
+            size_scale=0.12,
+            max_tasks_per_job=120,
+            num_machines=80,
+            seeds=(1,),
+            warmup_jobs=10,
+        )
+
+    @classmethod
+    def paper(cls) -> "ExperimentScale":
+        """A heavier scale approximating the paper's trace-driven simulator."""
+        return cls(
+            num_jobs=300,
+            size_scale=1.0,
+            max_tasks_per_job=2000,
+            num_machines=200,
+            seeds=(1, 2, 3),
+            warmup_jobs=150,
+        )
+
+
+@dataclass
+class PolicyRun:
+    """One policy's results over one workload (possibly several seeds)."""
+
+    policy_name: str
+    results: List[JobResult] = field(default_factory=list)
+    metrics: List[MetricsCollector] = field(default_factory=list)
+
+    def deadline_results(self) -> List[JobResult]:
+        return [r for r in self.results if r.bound.kind is BoundType.DEADLINE]
+
+    def error_results(self) -> List[JobResult]:
+        return [r for r in self.results if r.bound.kind is BoundType.ERROR]
+
+    def average_accuracy(self, results: Optional[Iterable[JobResult]] = None) -> float:
+        pool = list(results) if results is not None else self.deadline_results()
+        if not pool:
+            return 0.0
+        return mean([r.accuracy for r in pool])
+
+    def average_duration(self, results: Optional[Iterable[JobResult]] = None) -> float:
+        pool = list(results) if results is not None else self.error_results()
+        if not pool:
+            return 0.0
+        return mean([r.duration for r in pool])
+
+
+def improvement_in_accuracy(baseline: float, improved: float) -> float:
+    """Percentage improvement in average accuracy (larger accuracy is better)."""
+    if baseline <= 0:
+        return 0.0
+    return 100.0 * (improved - baseline) / baseline
+
+
+def improvement_in_duration(baseline: float, improved: float) -> float:
+    """Percentage reduction in average duration (smaller duration is better)."""
+    if baseline <= 0:
+        return 0.0
+    return 100.0 * (baseline - improved) / baseline
+
+
+def build_simulation_config(
+    workload: GeneratedWorkload,
+    scale: ExperimentScale,
+    seed: int,
+    oracle_estimates: bool,
+) -> SimulationConfig:
+    """Simulation config matching a generated workload's framework profile."""
+    framework = workload.config.framework_profile
+    return SimulationConfig(
+        cluster=ClusterConfig(num_machines=scale.num_machines, seed=seed),
+        stragglers=framework.stragglers,
+        estimator=framework.estimator,
+        seed=seed,
+        oracle_estimates=oracle_estimates,
+    )
+
+
+def run_policy(
+    workload: GeneratedWorkload,
+    policy: SpeculationPolicy,
+    scale: ExperimentScale,
+    seed: int,
+    oracle_estimates: bool = False,
+    warmup: Optional[GeneratedWorkload] = None,
+) -> MetricsCollector:
+    """Run one policy over one workload (optionally warming it up first).
+
+    The warm-up pass exists for learning policies (GRASS): the same policy
+    instance first processes a separate workload so its sample store reflects
+    cluster history, exactly as a long-running production scheduler would.
+    Warm-up results are discarded.
+    """
+    config = build_simulation_config(workload, scale, seed, oracle_estimates)
+    if warmup is not None and warmup.job_specs:
+        Simulation(config, policy, warmup.specs()).run()
+    return Simulation(config, policy, workload.specs()).run()
+
+
+@dataclass
+class ComparisonResult:
+    """Per-policy results over the same workload, plus the workload metadata."""
+
+    workload: GeneratedWorkload
+    runs: Dict[str, PolicyRun] = field(default_factory=dict)
+
+    def run(self, policy_name: str) -> PolicyRun:
+        return self.runs[policy_name]
+
+    # -- overall improvements --------------------------------------------------------
+
+    def accuracy_improvement(self, policy: str, baseline: str) -> float:
+        """Figure 5 style: % improvement in average accuracy of deadline jobs."""
+        return improvement_in_accuracy(
+            self.runs[baseline].average_accuracy(), self.runs[policy].average_accuracy()
+        )
+
+    def duration_improvement(self, policy: str, baseline: str) -> float:
+        """Figure 7 style: % reduction in average duration of error jobs."""
+        return improvement_in_duration(
+            self.runs[baseline].average_duration(), self.runs[policy].average_duration()
+        )
+
+    # -- grouped improvements ----------------------------------------------------------
+
+    def _grouped(self, results: Iterable[JobResult], group_fn) -> Dict[str, List[JobResult]]:
+        grouped: Dict[str, List[JobResult]] = {}
+        for result in results:
+            grouped.setdefault(group_fn(result), []).append(result)
+        return grouped
+
+    def accuracy_improvement_by_bin(self, policy: str, baseline: str) -> Dict[str, float]:
+        """Improvement per job-size bin (small / medium / large)."""
+        improvements: Dict[str, float] = {}
+        base_groups = self._grouped(
+            self.runs[baseline].deadline_results(), lambda r: r.job_bin
+        )
+        pol_groups = self._grouped(
+            self.runs[policy].deadline_results(), lambda r: r.job_bin
+        )
+        for bin_name in ("small", "medium", "large"):
+            base = base_groups.get(bin_name, [])
+            pol = pol_groups.get(bin_name, [])
+            if not base or not pol:
+                continue
+            improvements[bin_name] = improvement_in_accuracy(
+                self.runs[baseline].average_accuracy(base),
+                self.runs[policy].average_accuracy(pol),
+            )
+        return improvements
+
+    def duration_improvement_by_bin(self, policy: str, baseline: str) -> Dict[str, float]:
+        improvements: Dict[str, float] = {}
+        base_groups = self._grouped(
+            self.runs[baseline].error_results(), lambda r: r.job_bin
+        )
+        pol_groups = self._grouped(
+            self.runs[policy].error_results(), lambda r: r.job_bin
+        )
+        for bin_name in ("small", "medium", "large"):
+            base = base_groups.get(bin_name, [])
+            pol = pol_groups.get(bin_name, [])
+            if not base or not pol:
+                continue
+            improvements[bin_name] = improvement_in_duration(
+                self.runs[baseline].average_duration(base),
+                self.runs[policy].average_duration(pol),
+            )
+        return improvements
+
+    def accuracy_improvement_by_deadline_bin(
+        self, policy: str, baseline: str
+    ) -> Dict[str, float]:
+        """Figure 6a: improvement grouped by the deadline slack-factor bin."""
+
+        def group(result: JobResult) -> str:
+            metadata = self.workload.metadata_for(result.job_id)
+            slack = metadata.deadline_slack_percent or 0.0
+            return deadline_bin_label(slack)
+
+        improvements: Dict[str, float] = {}
+        base_groups = self._grouped(self.runs[baseline].deadline_results(), group)
+        pol_groups = self._grouped(self.runs[policy].deadline_results(), group)
+        for bin_name in base_groups:
+            base = base_groups.get(bin_name, [])
+            pol = pol_groups.get(bin_name, [])
+            if not base or not pol:
+                continue
+            improvements[bin_name] = improvement_in_accuracy(
+                self.runs[baseline].average_accuracy(base),
+                self.runs[policy].average_accuracy(pol),
+            )
+        return improvements
+
+    def duration_improvement_by_error_bin(
+        self, policy: str, baseline: str
+    ) -> Dict[str, float]:
+        """Figure 6b: improvement grouped by the error-bound bin."""
+
+        def group(result: JobResult) -> str:
+            error = (result.bound.error or 0.0) * 100.0
+            return error_bin_label(error)
+
+        improvements: Dict[str, float] = {}
+        base_groups = self._grouped(self.runs[baseline].error_results(), group)
+        pol_groups = self._grouped(self.runs[policy].error_results(), group)
+        for bin_name in base_groups:
+            base = base_groups.get(bin_name, [])
+            pol = pol_groups.get(bin_name, [])
+            if not base or not pol:
+                continue
+            improvements[bin_name] = improvement_in_duration(
+                self.runs[baseline].average_duration(base),
+                self.runs[policy].average_duration(pol),
+            )
+        return improvements
+
+
+def compare_policies(
+    policy_names: Sequence[str],
+    workload_config: WorkloadConfig,
+    scale: Optional[ExperimentScale] = None,
+    warmup: bool = True,
+) -> ComparisonResult:
+    """Run the named policies over one workload and collect their results.
+
+    Every policy sees exactly the same jobs, the same cluster and the same
+    straggler draws (the straggler model keys durations on the job, task and
+    copy index, not on the policy's decisions), so differences are entirely
+    due to scheduling.
+    """
+    scale = scale or ExperimentScale()
+    generator_config = WorkloadConfig(
+        workload=workload_config.workload,
+        framework=workload_config.framework,
+        num_jobs=scale.num_jobs,
+        bound_kind=workload_config.bound_kind,
+        deadline_slack_range=workload_config.deadline_slack_range,
+        error_range=workload_config.error_range,
+        dag_length=workload_config.dag_length,
+        intermediate_task_fraction=workload_config.intermediate_task_fraction,
+        size_scale=scale.size_scale,
+        max_tasks_per_job=scale.max_tasks_per_job,
+        arrival_mode=workload_config.arrival_mode,
+        seed=workload_config.seed,
+    )
+    workload = generate_workload(generator_config)
+    warmup_workload: Optional[GeneratedWorkload] = None
+    if warmup and scale.warmup_jobs > 0:
+        warmup_config = WorkloadConfig(
+            workload=generator_config.workload,
+            framework=generator_config.framework,
+            num_jobs=scale.warmup_jobs,
+            bound_kind=generator_config.bound_kind,
+            deadline_slack_range=generator_config.deadline_slack_range,
+            error_range=generator_config.error_range,
+            dag_length=generator_config.dag_length,
+            intermediate_task_fraction=generator_config.intermediate_task_fraction,
+            size_scale=generator_config.size_scale,
+            max_tasks_per_job=generator_config.max_tasks_per_job,
+            arrival_mode=generator_config.arrival_mode,
+            seed=generator_config.seed + 7919,
+        )
+        warmup_workload = generate_workload(warmup_config)
+
+    comparison = ComparisonResult(workload=workload)
+    for name in policy_names:
+        run = PolicyRun(policy_name=name)
+        for seed in scale.seeds:
+            policy = make_policy(name)
+            metrics = run_policy(
+                workload,
+                policy,
+                scale,
+                seed=seed,
+                oracle_estimates=needs_oracle_estimates(name),
+                warmup=warmup_workload,
+            )
+            run.results.extend(metrics.results)
+            run.metrics.append(metrics)
+        comparison.runs[name] = run
+    return comparison

@@ -1,0 +1,79 @@
+"""Closed-form Pareto quantities used by the Appendix A model.
+
+Task sizes are modelled as Pareto(x_m, β): ``P(τ > x) = (x_m / x) ** β`` for
+``x >= x_m``.  The three quantities the model needs are the mean, the mean of
+the minimum of k i.i.d. copies (which is again Pareto with shape kβ), and the
+mean residual life ``E[τ - ω | τ > ω]`` which for a Pareto grows linearly in
+ω — the formal reason heavy tails make speculation worthwhile.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _validate(shape: float, scale: float) -> None:
+    if shape <= 0:
+        raise ValueError("shape must be positive")
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+
+
+def pareto_mean(shape: float, scale: float) -> float:
+    """E[τ] for Pareto(scale, shape); infinite when shape <= 1."""
+    _validate(shape, scale)
+    if shape <= 1.0:
+        return math.inf
+    return shape * scale / (shape - 1.0)
+
+
+def pareto_survival(x: float, shape: float, scale: float) -> float:
+    """P(τ > x)."""
+    _validate(shape, scale)
+    if x <= scale:
+        return 1.0
+    return (scale / x) ** shape
+
+
+def pareto_min_mean(k: int, shape: float, scale: float) -> float:
+    """E[min(τ1, ..., τk)] — the minimum of k i.i.d. Pareto is Pareto(k·β)."""
+    _validate(shape, scale)
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    combined_shape = k * shape
+    if combined_shape <= 1.0:
+        return math.inf
+    return combined_shape * scale / (combined_shape - 1.0)
+
+
+def conditional_residual(omega: float, shape: float, scale: float) -> float:
+    """Mean residual life E[τ - ω | τ > ω].
+
+    For ω >= scale this equals ω / (β - 1): it *grows* with ω when β < 2,
+    which is Guideline 1's justification for speculating on long-running
+    tasks.  For ω below the scale the residual is computed against the full
+    distribution.
+    """
+    _validate(shape, scale)
+    if omega < 0:
+        raise ValueError("omega must be non-negative")
+    if shape <= 1.0:
+        return math.inf
+    if omega <= scale:
+        # E[τ] - ω, but never below the residual at the scale point.
+        return max(pareto_mean(shape, scale) - omega, scale / (shape - 1.0))
+    return omega / (shape - 1.0)
+
+
+def truncated_pareto_mean(shape: float, scale: float, cap: float) -> float:
+    """E[min(τ, cap)] — used when comparing the model against the simulator."""
+    _validate(shape, scale)
+    if cap <= scale:
+        raise ValueError("cap must exceed the scale")
+    if shape == 1.0:
+        body = scale * (1.0 + math.log(cap / scale))
+    else:
+        body = (shape * scale / (shape - 1.0)) * (
+            1.0 - (scale / cap) ** (shape - 1.0)
+        )
+    return body + cap * (scale / cap) ** shape

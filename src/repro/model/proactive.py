@@ -1,0 +1,107 @@
+"""Proactive speculation model: equation (1) and Theorem 1 (Appendix A.1).
+
+A proactive policy launches ``k(x(t))`` copies of every task while the job
+has remaining work ``x(t)``.  Equation (1) approximates the rate at which
+work completes as the product of a capacity term and a "blow-up factor" —
+the ratio of work done without duplication to work done with duplication.
+Theorem 1 gives the duration-minimising ``k(x(t))`` for Pareto task sizes,
+which collapses to Guidelines 1 and 2:
+
+* early waves: speculate (with at most ⌈2/β⌉ ≈ 2 copies) only when the tail
+  is heavy enough (β < 2);
+* last wave: replicate as much as the spare capacity allows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.model.pareto import pareto_mean, pareto_min_mean
+
+
+def blow_up_factor(k: int, shape: float, scale: float = 1.0) -> float:
+    """E[τ] / (k · E[min(τ1..τk)]): work saved (>1) or wasted (<1) by k copies."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    numerator = pareto_mean(shape, scale)
+    denominator = k * pareto_min_mean(k, shape, scale)
+    if math.isinf(numerator) and math.isinf(denominator):
+        # Both infinite only when k·β <= 1; treat as neutral.
+        return 1.0
+    if math.isinf(denominator):
+        return 0.0
+    if math.isinf(numerator):
+        return math.inf
+    return numerator / denominator
+
+
+def optimal_copies(shape: float) -> int:
+    """σ of Theorem 1: the copy count used during the early waves.
+
+    ``max(2/β, 1)`` rounded up to a whole number of copies: 2 when the task
+    size distribution has infinite variance (β < 2), otherwise 1 (no early
+    speculation).
+    """
+    if shape <= 0:
+        raise ValueError("shape must be positive")
+    return max(1, math.ceil(2.0 / shape)) if shape < 2.0 else 1
+
+
+@dataclass(frozen=True)
+class ProactiveDecision:
+    """The replication level Theorem 1 prescribes at one instant."""
+
+    copies: int
+    regime: str  # "early", "transition" or "last-wave"
+
+
+def proactive_policy(
+    remaining_fraction: float,
+    total_tasks: int,
+    slots: int,
+    shape: float,
+) -> ProactiveDecision:
+    """Theorem 1's k(x(t)) for a job with ``total_tasks`` tasks and ``slots`` slots.
+
+    ``remaining_fraction`` is x(t)/x, the fraction of work still outstanding.
+    The three cases of equation (2):
+
+    * many tasks remain (``remaining · T · σ >= S``): use σ copies,
+    * a middling number remains: split the capacity evenly (S / remaining tasks),
+    * fewer tasks than one wave remain: use all S slots per task.
+    """
+    if not 0.0 <= remaining_fraction <= 1.0:
+        raise ValueError("remaining_fraction must be in [0, 1]")
+    if total_tasks <= 0 or slots <= 0:
+        raise ValueError("total_tasks and slots must be positive")
+    sigma = optimal_copies(shape)
+    remaining_tasks = remaining_fraction * total_tasks
+    if remaining_tasks * sigma >= slots:
+        return ProactiveDecision(copies=sigma, regime="early")
+    if remaining_tasks >= 1.0:
+        copies = max(1, int(slots / max(remaining_tasks, 1e-9)))
+        return ProactiveDecision(copies=copies, regime="transition")
+    return ProactiveDecision(copies=slots, regime="last-wave")
+
+
+def service_rate(
+    remaining_fraction: float,
+    total_tasks: int,
+    slots: int,
+    shape: float,
+    scale: float,
+    copies: int,
+) -> float:
+    """Equation (1): approximate rate at which work completes.
+
+    The capacity term is the fraction of the (normalised) cluster the job can
+    usefully occupy with ``copies`` copies per remaining task; the second
+    term is the blow-up factor.
+    """
+    if copies < 1:
+        raise ValueError("copies must be at least 1")
+    remaining_tasks = remaining_fraction * total_tasks
+    usable_slots = min(float(slots), max(remaining_tasks, 0.0) * copies)
+    capacity = usable_slots / slots if slots > 0 else 0.0
+    return capacity * blow_up_factor(copies, shape, scale)

@@ -1,0 +1,27 @@
+"""Discrete-event cluster simulator substrate.
+
+This package replaces the paper's 200-node EC2 deployment: it provides the
+machines, slots, straggler behaviour and event loop on which the speculation
+policies (GS, RAS, GRASS and the baselines) are exercised.
+"""
+
+from repro.simulator.cluster import Cluster, ClusterConfig
+from repro.simulator.engine import Simulation, SimulationConfig
+from repro.simulator.events import Event, EventKind, EventQueue
+from repro.simulator.machine import Machine
+from repro.simulator.metrics import MetricsCollector
+from repro.simulator.stragglers import StragglerConfig, StragglerModel
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "Machine",
+    "MetricsCollector",
+    "Simulation",
+    "SimulationConfig",
+    "StragglerConfig",
+    "StragglerModel",
+]

@@ -1,0 +1,176 @@
+"""Cluster: machines, slots and fair-share allocation across jobs.
+
+The cluster tracks which slots are busy, assigns newly launched copies to
+machines, and recomputes each running job's slot allocation whenever the set
+of running jobs changes.  Fair sharing is what makes jobs *multi-waved* (§2.1):
+a job with 1000 tasks given 100 slots runs one tenth of its tasks at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.simulator.machine import Machine
+from repro.utils.rng import RngStream
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Static description of the simulated cluster.
+
+    The default of 200 machines with one slot each mirrors the paper's 200
+    node EC2 deployment (each node contributing one task slot keeps the
+    arithmetic of waves simple; ``slots_per_machine`` can be raised to model
+    multi-slot nodes).
+    """
+
+    num_machines: int = 200
+    slots_per_machine: int = 1
+    heterogeneity: float = 0.08
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_machines <= 0:
+            raise ValueError("num_machines must be positive")
+        if self.slots_per_machine <= 0:
+            raise ValueError("slots_per_machine must be positive")
+        if not 0.0 <= self.heterogeneity < 1.0:
+            raise ValueError("heterogeneity must be in [0, 1)")
+
+    @property
+    def total_slots(self) -> int:
+        return self.num_machines * self.slots_per_machine
+
+
+class Cluster:
+    """Runtime slot accounting and machine placement."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        rng = RngStream(config.seed, "cluster")
+        self.machines: List[Machine] = []
+        for machine_id in range(config.num_machines):
+            if config.heterogeneity > 0:
+                speed = rng.truncated_gauss(
+                    1.0,
+                    config.heterogeneity,
+                    low=1.0 - config.heterogeneity,
+                    high=1.0 + 2.0 * config.heterogeneity,
+                )
+            else:
+                speed = 1.0
+            self.machines.append(
+                Machine(
+                    machine_id=machine_id,
+                    num_slots=config.slots_per_machine,
+                    speed_factor=speed,
+                )
+            )
+        self._machine_by_id: Dict[int, Machine] = {
+            machine.machine_id: machine for machine in self.machines
+        }
+        self._placement_rng = rng.spawn("placement")
+
+    # -- capacity ---------------------------------------------------------------
+
+    @property
+    def total_slots(self) -> int:
+        return self.config.total_slots
+
+    @property
+    def busy_slots(self) -> int:
+        return sum(machine.busy_slots for machine in self.machines)
+
+    @property
+    def free_slots(self) -> int:
+        return self.total_slots - self.busy_slots
+
+    def has_free_slot(self) -> bool:
+        return self.free_slots > 0
+
+    def utilization(self) -> float:
+        """Fraction of slots currently busy, in [0, 1]."""
+        if self.total_slots == 0:
+            return 0.0
+        return self.busy_slots / self.total_slots
+
+    # -- placement --------------------------------------------------------------
+
+    def machine(self, machine_id: int) -> Machine:
+        return self._machine_by_id[machine_id]
+
+    def pick_machine(self) -> Optional[Machine]:
+        """Pick a machine with a free slot, randomly among the least loaded.
+
+        Random placement among least-loaded machines approximates the data
+        locality-agnostic placement the paper's prototypes use for
+        speculative copies.
+        """
+        candidates = [machine for machine in self.machines if machine.has_free_slot()]
+        if not candidates:
+            return None
+        min_busy = min(machine.busy_slots for machine in candidates)
+        least_loaded = [m for m in candidates if m.busy_slots == min_busy]
+        return self._placement_rng.choice(least_loaded)
+
+    def occupy(self, machine_id: int, job_id: int, task_id: int, copy_id: int) -> None:
+        self.machine(machine_id).occupy(job_id, task_id, copy_id)
+
+    def release(self, machine_id: int, job_id: int, task_id: int, copy_id: int) -> None:
+        self.machine(machine_id).release(job_id, task_id, copy_id)
+
+    # -- fair sharing ---------------------------------------------------------------
+
+    def fair_share(
+        self,
+        job_ids: Sequence[int],
+        demands: Dict[int, int],
+        caps: Optional[Dict[int, Optional[int]]] = None,
+        capacity: Optional[int] = None,
+    ) -> Dict[int, int]:
+        """Max-min fair allocation of slots to jobs.
+
+        ``demands`` maps a job to how many slots it could use right now
+        (pending tasks plus running copies); ``caps`` optionally limits a job
+        (``JobSpec.max_slots``).  Slots a job cannot use are redistributed to
+        the others, which is what lets a lone small job in an idle cluster
+        become single-waved while a crowded cluster forces multi-waved runs.
+        ``capacity`` overrides the number of slots available for sharing
+        (used to model background utilisation from other tenants).
+        """
+        allocations = {job_id: 0 for job_id in job_ids}
+        if not job_ids:
+            return allocations
+        caps = caps or {}
+
+        def limit(job_id: int) -> int:
+            cap = caps.get(job_id)
+            demand = demands.get(job_id, 0)
+            if cap is None:
+                return demand
+            return min(cap, demand)
+
+        remaining = self.total_slots if capacity is None else max(0, capacity)
+        active = [job_id for job_id in job_ids if limit(job_id) > 0]
+        # Iteratively hand out equal shares, redistributing unused capacity.
+        while remaining > 0 and active:
+            share = max(1, remaining // len(active))
+            progressed = False
+            for job_id in list(active):
+                if remaining <= 0:
+                    break
+                want = limit(job_id) - allocations[job_id]
+                if want <= 0:
+                    active.remove(job_id)
+                    continue
+                grant = min(share, want, remaining)
+                if grant > 0:
+                    allocations[job_id] += grant
+                    remaining -= grant
+                    progressed = True
+                if allocations[job_id] >= limit(job_id):
+                    active.remove(job_id)
+            if not progressed:
+                break
+        return allocations

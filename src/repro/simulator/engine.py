@@ -1,0 +1,388 @@
+"""The discrete-event simulation engine.
+
+The engine drives a set of jobs (from the workload generator) through a
+cluster under one speculation policy.  It owns:
+
+* the event loop (job arrivals, copy completions, deadlines),
+* slot accounting and fair-share allocation across concurrent jobs,
+* the per-job ``trem`` / ``tnew`` estimators and their accuracy tracking,
+* materialising the policy-facing :class:`SchedulingView`,
+* job termination semantics for deadline-bound, error-bound and exact jobs.
+
+It deliberately knows nothing about *which* policy it is running; GS, RAS,
+GRASS, LATE, Mantri and the oracle all plug into the same
+:class:`~repro.core.policies.base.SpeculationPolicy` interface.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.estimators import EstimatorConfig, TaskEstimator
+from repro.core.job import Job, JobSpec
+from repro.core.policies.base import SchedulingView, SpeculationPolicy, TaskSnapshot
+from repro.core.task import Task, TaskCopy
+from repro.simulator.cluster import Cluster, ClusterConfig
+from repro.simulator.events import EventKind, EventQueue
+from repro.simulator.metrics import MetricsCollector
+from repro.simulator.stragglers import StragglerConfig, StragglerModel
+from repro.utils.rng import RngStream
+from repro.utils.stats import median
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything needed to run one simulation besides the jobs and the policy."""
+
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    stragglers: StragglerConfig = field(default_factory=StragglerConfig)
+    estimator: EstimatorConfig = field(default_factory=EstimatorConfig)
+    seed: int = 0
+    background_utilization: float = 0.0
+    max_simulated_time: float = 10_000_000.0
+    oracle_estimates: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.background_utilization < 1.0:
+            raise ValueError("background_utilization must be in [0, 1)")
+        if self.max_simulated_time <= 0:
+            raise ValueError("max_simulated_time must be positive")
+
+
+class Simulation:
+    """Runs a workload under one speculation policy and collects metrics."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        policy: SpeculationPolicy,
+        job_specs: Sequence[JobSpec],
+    ) -> None:
+        if not job_specs:
+            raise ValueError("a simulation needs at least one job")
+        self.config = config
+        self.policy = policy
+        self.cluster = Cluster(config.cluster)
+        self.stragglers = StragglerModel(config.stragglers, seed=config.seed)
+        self.metrics = MetricsCollector()
+        self._events = EventQueue()
+        self._now = 0.0
+        self._rng = RngStream(config.seed, "engine")
+        self._job_specs = sorted(job_specs, key=lambda spec: (spec.arrival_time, spec.job_id))
+        self._jobs: Dict[int, Job] = {}
+        self._estimators: Dict[int, TaskEstimator] = {}
+        self._running_job_ids: List[int] = []
+        self._copy_counter = 0
+        self._reserved_slots = int(
+            round(config.background_utilization * self.cluster.total_slots)
+        )
+
+    # ------------------------------------------------------------------ lifecycle
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def run(self) -> MetricsCollector:
+        """Execute the simulation to completion and return the metrics."""
+        for spec in self._job_specs:
+            self._events.push(spec.arrival_time, EventKind.JOB_ARRIVAL, job_id=spec.job_id)
+        while True:
+            event = self._events.pop()
+            if event is None:
+                break
+            if event.time > self.config.max_simulated_time:
+                break
+            self._now = max(self._now, event.time)
+            self._process_event(event)
+            # Apply every other event scheduled for the same instant before
+            # making new scheduling decisions, so simultaneous completions
+            # free their slots together (and deadlines see them as finished).
+            while True:
+                next_time = self._events.peek_time()
+                if next_time is None or next_time > self._now:
+                    break
+                self._process_event(self._events.pop())
+            self._recompute_allocations()
+            self._dispatch()
+        # Force-finish anything still running (safety net for malformed
+        # workloads or policies that refuse to schedule).
+        for job_id in list(self._running_job_ids):
+            self._finish_job(self._jobs[job_id])
+        self.metrics.simulated_time = self._now
+        return self.metrics
+
+    # ------------------------------------------------------------------ event handlers
+
+    def _process_event(self, event) -> None:
+        """Apply one event's state changes (no scheduling decisions here)."""
+        if event.kind is EventKind.JOB_ARRIVAL:
+            self._handle_arrival(event.payload["job_id"])
+        elif event.kind is EventKind.COPY_FINISH:
+            self._handle_copy_finish(
+                event.payload["job_id"],
+                event.payload["task_id"],
+                event.payload["copy_id"],
+            )
+        elif event.kind is EventKind.JOB_DEADLINE:
+            self._handle_deadline(event.payload["job_id"])
+
+    def _handle_arrival(self, job_id: int) -> None:
+        spec = next(s for s in self._job_specs if s.job_id == job_id)
+        job = Job(spec)
+        job.start(self._now)
+        self._jobs[job_id] = job
+        self._estimators[job_id] = TaskEstimator(
+            self.config.estimator, self._rng.spawn(f"estimator/{job_id}")
+        )
+        self._running_job_ids.append(job_id)
+        self._recompute_allocations()
+        self._set_input_deadline(job)
+        if spec.bound.is_deadline:
+            assert spec.bound.deadline is not None
+            effective = job.input_deadline
+            if effective is None:
+                effective = spec.bound.deadline
+            self._events.push(
+                self._now + effective, EventKind.JOB_DEADLINE, job_id=job_id
+            )
+        self.policy.on_job_start(job, self._now)
+
+    def _handle_copy_finish(self, job_id: int, task_id: int, copy_id: int) -> None:
+        job = self._jobs.get(job_id)
+        if job is None or not job.is_running:
+            return
+        task = job.tasks[task_id]
+        copy = self._find_copy(task, copy_id)
+        if copy is None or not copy.is_running():
+            return  # The copy was killed before its completion event fired.
+        estimator = self._estimators[job_id]
+        killed = task.complete(self._now, copy)
+        self._release_copy(job, copy)
+        for victim in killed:
+            self._release_copy(job, victim)
+            self.metrics.record_wasted_work(victim.end_time - victim.start_time)
+        actual_duration = copy.end_time - copy.start_time
+        estimator.observe_completion(task, actual_duration)
+        if job.all_required_work_done():
+            self._finish_job(job)
+
+    def _handle_deadline(self, job_id: int) -> None:
+        job = self._jobs.get(job_id)
+        if job is None or not job.is_running:
+            return
+        self._finish_job(job)
+
+    # ------------------------------------------------------------------ job management
+
+    def _set_input_deadline(self, job: Job) -> None:
+        """Apportion a deadline-bound job's deadline to its input phase (§5.2).
+
+        The time the intermediate phases will need is estimated from their
+        task counts, the job's allocation and the median intermediate task
+        work, and subtracted from the overall deadline.  The remainder is the
+        input-phase deadline the policies see.  Only the input phase is then
+        simulated for deadline-bound jobs; the accuracy metric depends only
+        on input tasks (§5.2).
+        """
+        if not job.bound.is_deadline:
+            return
+        assert job.bound.deadline is not None
+        intermediate_estimate = 0.0
+        allocation = max(1, job.allocation)
+        for phase in job.spec.intermediate_phases:
+            works = sorted(phase.task_works)
+            mid = len(works) // 2
+            median_work = works[mid] if len(works) % 2 == 1 else 0.5 * (
+                works[mid - 1] + works[mid]
+            )
+            waves = math.ceil(phase.task_count / allocation)
+            intermediate_estimate += waves * median_work
+        job.input_deadline = max(
+            1e-3, job.bound.deadline - intermediate_estimate
+        )
+
+    def _finish_job(self, job: Job) -> None:
+        killed = job.abandon_incomplete_tasks(self._now)
+        for victim in killed:
+            self._release_copy(job, victim)
+            self.metrics.record_wasted_work(victim.end_time - victim.start_time)
+        job.finish(self._now)
+        if job.job_id in self._running_job_ids:
+            self._running_job_ids.remove(job.job_id)
+        estimator = self._estimators[job.job_id]
+        result = job.to_result(
+            policy_label=self.policy.label(),
+            estimator_accuracy=estimator.combined_accuracy,
+        )
+        self.metrics.add_result(result)
+        self.policy.on_job_finish(job, result, self._now)
+
+    def _recompute_allocations(self) -> None:
+        if not self._running_job_ids:
+            return
+        demands: Dict[int, int] = {}
+        caps: Dict[int, Optional[int]] = {}
+        for job_id in self._running_job_ids:
+            job = self._jobs[job_id]
+            schedulable = job.schedulable_tasks(self._now)
+            pending = sum(1 for task in schedulable if task.is_pending)
+            running = sum(1 for task in schedulable if task.is_running)
+            # Each running task could host one extra speculative copy.
+            demands[job_id] = max(1, pending + 2 * running)
+            caps[job_id] = job.spec.max_slots
+        capacity = self.cluster.total_slots - self._reserved_slots
+        allocations = self.cluster.fair_share(
+            self._running_job_ids, demands, caps, capacity=capacity
+        )
+        for job_id, allocation in allocations.items():
+            self._jobs[job_id].allocation = allocation
+
+    # ------------------------------------------------------------------ dispatch
+
+    def _dispatch(self) -> None:
+        """Give every running job a chance to fill its allocation."""
+        progress = True
+        while progress:
+            progress = False
+            for job_id in list(self._running_job_ids):
+                job = self._jobs[job_id]
+                if not job.is_running:
+                    continue
+                if job.running_copy_count() >= job.allocation:
+                    continue
+                if not self.cluster.has_free_slot():
+                    return
+                if self.cluster.busy_slots + self._reserved_slots >= self.cluster.total_slots:
+                    return
+                view = self._build_view(job)
+                if view is None:
+                    continue
+                decision = self.policy.choose_task(view)
+                if decision is None:
+                    continue
+                self._launch_copy(job, decision.task, speculative=decision.speculative)
+                progress = True
+        self.metrics.record_utilization(self._effective_utilization())
+
+    def _effective_utilization(self) -> float:
+        total = self.cluster.total_slots
+        if total == 0:
+            return 0.0
+        return min(1.0, (self.cluster.busy_slots + self._reserved_slots) / total)
+
+    def _build_view(self, job: Job) -> Optional[SchedulingView]:
+        estimator = self._estimators[job.job_id]
+        tasks = job.schedulable_tasks(self._now)
+        if not tasks:
+            return None
+        phase_index = tasks[0].phase_index
+        snapshots: List[TaskSnapshot] = []
+        for task in tasks:
+            snapshot = self._snapshot_task(job, task, estimator)
+            snapshots.append(snapshot)
+        is_input = phase_index == 0
+        remaining_deadline = job.remaining_deadline(self._now) if is_input else None
+        if is_input:
+            remaining_required = job.remaining_required_tasks()
+        else:
+            remaining_required = sum(1 for task in tasks if not task.is_finished)
+        return SchedulingView(
+            now=self._now,
+            job=job,
+            tasks=snapshots,
+            bound=job.bound,
+            remaining_deadline=remaining_deadline,
+            remaining_required_tasks=remaining_required,
+            wave_width=max(1, job.allocation),
+            cluster_utilization=self._effective_utilization(),
+            estimator_accuracy=estimator.combined_accuracy,
+            phase_index=phase_index,
+            is_input_phase=is_input,
+        )
+
+    def _snapshot_task(
+        self, job: Job, task: Task, estimator: TaskEstimator
+    ) -> TaskSnapshot:
+        running = task.is_running
+        if self.config.oracle_estimates:
+            tnew = self._oracle_tnew(job, task)
+            trem = task.true_remaining(self._now) if running else tnew
+        else:
+            tnew = estimator.tnew(task)
+            trem = estimator.trem(task, self._now) if running else tnew
+            if running:
+                # Feed realised accuracy back into the tracker (§5.1): compare
+                # the estimate against the true remaining time of the best copy.
+                estimator.record_trem_outcome(trem, max(1e-6, task.true_remaining(self._now)))
+        return TaskSnapshot(
+            task=task,
+            running=running,
+            copies=task.running_copy_count,
+            trem=trem,
+            tnew=tnew,
+        )
+
+    def _oracle_tnew(self, job: Job, task: Task) -> float:
+        """True duration the *next* copy of ``task`` would have (oracle mode)."""
+        copy_index = task.total_copies_launched
+        # The oracle cannot know which machine the copy will land on, so it
+        # uses the median machine speed; the straggler multiplier (the part
+        # that matters) is exact.
+        speeds = [machine.speed_factor for machine in self.cluster.machines]
+        speed = median(speeds)
+        return self.stragglers.copy_duration(
+            task.work, speed, job.job_id, task.task_id, copy_index
+        )
+
+    # ------------------------------------------------------------------ copy management
+
+    def _launch_copy(self, job: Job, task: Task, speculative: bool) -> None:
+        machine = self.cluster.pick_machine()
+        if machine is None:
+            return
+        copy_index = task.total_copies_launched
+        duration = self.stragglers.copy_duration(
+            task.work, machine.speed_factor, job.job_id, task.task_id, copy_index
+        )
+        copy = TaskCopy(
+            copy_id=self._copy_counter,
+            task_id=task.task_id,
+            machine_id=machine.machine_id,
+            start_time=self._now,
+            duration=duration,
+        )
+        self._copy_counter += 1
+        task.add_copy(copy)
+        machine.occupy(job.job_id, task.task_id, copy.copy_id)
+        if speculative:
+            job.speculative_copies_launched += 1
+        self.metrics.record_copy_launch(speculative)
+        self._events.push(
+            copy.finish_time,
+            EventKind.COPY_FINISH,
+            job_id=job.job_id,
+            task_id=task.task_id,
+            copy_id=copy.copy_id,
+        )
+
+    def _release_copy(self, job: Job, copy: TaskCopy) -> None:
+        self.cluster.release(copy.machine_id, job.job_id, copy.task_id, copy.copy_id)
+
+    @staticmethod
+    def _find_copy(task: Task, copy_id: int) -> Optional[TaskCopy]:
+        for copy in task.copies:
+            if copy.copy_id == copy_id:
+                return copy
+        return None
+
+
+def run_simulation(
+    job_specs: Sequence[JobSpec],
+    policy: SpeculationPolicy,
+    config: Optional[SimulationConfig] = None,
+) -> MetricsCollector:
+    """Convenience wrapper: run a workload under a policy and return metrics."""
+    return Simulation(config or SimulationConfig(), policy, job_specs).run()

@@ -1,0 +1,122 @@
+"""Metrics collection for simulation runs.
+
+The collector accumulates per-job results plus cluster-level counters and
+exposes the aggregates the paper reports: average accuracy of deadline-bound
+jobs, average duration of error-bound jobs, breakdowns by job bin and by
+bound value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.bounds import BoundType
+from repro.core.job import JobResult
+from repro.utils.stats import OnlineStats, mean
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates :class:`JobResult` records and cluster counters."""
+
+    results: List[JobResult] = field(default_factory=list)
+    total_copies_launched: int = 0
+    speculative_copies_launched: int = 0
+    wasted_slot_seconds: float = 0.0
+    utilization_stats: OnlineStats = field(default_factory=OnlineStats)
+    simulated_time: float = 0.0
+
+    # -- recording -------------------------------------------------------------
+
+    def add_result(self, result: JobResult) -> None:
+        self.results.append(result)
+
+    def record_copy_launch(self, speculative: bool) -> None:
+        self.total_copies_launched += 1
+        if speculative:
+            self.speculative_copies_launched += 1
+
+    def record_wasted_work(self, slot_seconds: float) -> None:
+        self.wasted_slot_seconds += slot_seconds
+
+    def record_utilization(self, utilization: float) -> None:
+        self.utilization_stats.add(utilization)
+
+    # -- filters ----------------------------------------------------------------
+
+    def deadline_results(self) -> List[JobResult]:
+        return [r for r in self.results if r.bound.kind is BoundType.DEADLINE]
+
+    def error_results(self) -> List[JobResult]:
+        return [r for r in self.results if r.bound.kind is BoundType.ERROR]
+
+    def exact_results(self) -> List[JobResult]:
+        return [r for r in self.results if r.bound.is_exact]
+
+    def by_bin(self, results: Optional[Sequence[JobResult]] = None) -> Dict[str, List[JobResult]]:
+        """Group results into the paper's job-size bins."""
+        grouped: Dict[str, List[JobResult]] = {"small": [], "medium": [], "large": []}
+        for result in results if results is not None else self.results:
+            grouped[result.job_bin].append(result)
+        return grouped
+
+    def filter(self, predicate: Callable[[JobResult], bool]) -> List[JobResult]:
+        return [result for result in self.results if predicate(result)]
+
+    # -- aggregates ----------------------------------------------------------------
+
+    def average_accuracy(self, results: Optional[Sequence[JobResult]] = None) -> float:
+        """Mean accuracy of deadline-bound jobs (the paper's headline metric)."""
+        pool = list(results) if results is not None else self.deadline_results()
+        if not pool:
+            return 0.0
+        return mean([result.accuracy for result in pool])
+
+    def average_duration(self, results: Optional[Sequence[JobResult]] = None) -> float:
+        """Mean duration of error-bound jobs."""
+        pool = list(results) if results is not None else self.error_results()
+        if not pool:
+            return 0.0
+        return mean([result.duration for result in pool])
+
+    def accuracy_by_bin(self) -> Dict[str, float]:
+        grouped = self.by_bin(self.deadline_results())
+        return {
+            bin_name: self.average_accuracy(results) if results else 0.0
+            for bin_name, results in grouped.items()
+        }
+
+    def duration_by_bin(self) -> Dict[str, float]:
+        grouped = self.by_bin(self.error_results())
+        return {
+            bin_name: self.average_duration(results) if results else 0.0
+            for bin_name, results in grouped.items()
+        }
+
+    def bound_met_fraction(self) -> float:
+        """Fraction of jobs that met their bound (error jobs) or finished fully."""
+        if not self.results:
+            return 0.0
+        return sum(1 for result in self.results if result.met_bound) / len(self.results)
+
+    def speculation_ratio(self) -> float:
+        """Speculative copies as a fraction of all copies launched."""
+        if self.total_copies_launched == 0:
+            return 0.0
+        return self.speculative_copies_launched / self.total_copies_launched
+
+    def summary(self) -> Dict[str, float]:
+        """A compact dictionary used by the CLI and the experiment reports."""
+        return {
+            "jobs": float(len(self.results)),
+            "deadline_jobs": float(len(self.deadline_results())),
+            "error_jobs": float(len(self.error_results())),
+            "avg_accuracy": self.average_accuracy(),
+            "avg_duration": self.average_duration(),
+            "bound_met_fraction": self.bound_met_fraction(),
+            "speculation_ratio": self.speculation_ratio(),
+            "wasted_slot_seconds": self.wasted_slot_seconds,
+            "mean_utilization": self.utilization_stats.mean,
+            "simulated_time": self.simulated_time,
+        }

@@ -1,0 +1,24 @@
+"""Small shared utilities: deterministic RNG streams and statistics helpers."""
+
+from repro.utils.rng import RngStream, spawn_rng
+from repro.utils.stats import (
+    OnlineMean,
+    OnlineStats,
+    clamp,
+    mean,
+    median,
+    percentile,
+    weighted_mean,
+)
+
+__all__ = [
+    "RngStream",
+    "spawn_rng",
+    "OnlineMean",
+    "OnlineStats",
+    "clamp",
+    "mean",
+    "median",
+    "percentile",
+    "weighted_mean",
+]

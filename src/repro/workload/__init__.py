@@ -1,0 +1,61 @@
+"""Workload synthesis: the stand-in for the Facebook and Bing production traces.
+
+The original traces (575 K Facebook Hadoop jobs, 500 K Bing Dryad jobs) are
+proprietary; this package generates synthetic workloads calibrated to every
+property the paper publishes about them — heavy-tailed (Pareto, β ≈ 1.259)
+task durations, slowest-task ≈ 8× median, the small/medium/large job-size
+mix, multi-waved execution, and the §6.1 recipe for assigning deadlines
+(2–20 % over the ideal duration) and error bounds (5–30 %).
+"""
+
+from repro.workload.bins import (
+    DEADLINE_BINS,
+    ERROR_BINS,
+    JOB_SIZE_BINS,
+    deadline_bin_label,
+    error_bin_label,
+)
+from repro.workload.distributions import (
+    BoundedParetoDistribution,
+    ConstantDistribution,
+    Distribution,
+    EmpiricalDistribution,
+    ExponentialDistribution,
+    LogNormalDistribution,
+    ParetoDistribution,
+    UniformDistribution,
+)
+from repro.workload.profiles import (
+    FrameworkProfile,
+    WorkloadProfile,
+    framework_profile,
+    workload_profile,
+)
+from repro.workload.synthetic import SyntheticWorkloadGenerator, WorkloadConfig
+from repro.workload.traces import TraceJob, TraceSummary, summarize_trace, trace_from_specs
+
+__all__ = [
+    "DEADLINE_BINS",
+    "ERROR_BINS",
+    "JOB_SIZE_BINS",
+    "deadline_bin_label",
+    "error_bin_label",
+    "Distribution",
+    "ConstantDistribution",
+    "UniformDistribution",
+    "ExponentialDistribution",
+    "ParetoDistribution",
+    "BoundedParetoDistribution",
+    "LogNormalDistribution",
+    "EmpiricalDistribution",
+    "FrameworkProfile",
+    "WorkloadProfile",
+    "framework_profile",
+    "workload_profile",
+    "SyntheticWorkloadGenerator",
+    "WorkloadConfig",
+    "TraceJob",
+    "TraceSummary",
+    "summarize_trace",
+    "trace_from_specs",
+]

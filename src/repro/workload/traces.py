@@ -1,0 +1,155 @@
+"""Trace records and summaries (the Table 1 stand-in).
+
+Real production traces are proprietary, so the "traces" this module handles
+are either (a) summaries of synthetic workloads, used to verify the synthetic
+mix matches the published statistics, or (b) user-supplied JSON-lines files
+in the simple schema below, should someone want to replay their own cluster:
+
+    {"job_id": 1, "arrival_time": 0.0, "task_durations": [12.5, 9.1, ...]}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+from repro.core.job import JobSpec, job_bin_label
+from repro.utils.stats import mean, median, percentile
+
+
+@dataclass
+class TraceJob:
+    """One job of a trace: arrival time and its task durations."""
+
+    job_id: int
+    arrival_time: float
+    task_durations: List[float]
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise ValueError("arrival_time must be non-negative")
+        if not self.task_durations:
+            raise ValueError("a trace job needs at least one task")
+        if any(duration <= 0 for duration in self.task_durations):
+            raise ValueError("task durations must be positive")
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.task_durations)
+
+    @property
+    def size_bin(self) -> str:
+        return job_bin_label(self.num_tasks)
+
+    @property
+    def median_duration(self) -> float:
+        return median(self.task_durations)
+
+    @property
+    def slowest_to_median_ratio(self) -> float:
+        """The straggler severity statistic the paper quotes (~8x, §2.2)."""
+        med = self.median_duration
+        if med <= 0:
+            return 1.0
+        return max(self.task_durations) / med
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate trace statistics in the spirit of Table 1."""
+
+    name: str
+    num_jobs: int
+    num_tasks: int
+    bin_counts: Dict[str, int]
+    median_task_duration: float
+    p95_task_duration: float
+    mean_slowest_to_median: float
+    mean_tasks_per_job: float
+
+    def rows(self) -> List[Sequence[Union[str, float, int]]]:
+        """Rows suitable for printing as a small table."""
+        return [
+            ("trace", self.name),
+            ("jobs", self.num_jobs),
+            ("tasks", self.num_tasks),
+            ("small jobs (<50 tasks)", self.bin_counts.get("small", 0)),
+            ("medium jobs (51-500)", self.bin_counts.get("medium", 0)),
+            ("large jobs (>500)", self.bin_counts.get("large", 0)),
+            ("mean tasks per job", round(self.mean_tasks_per_job, 1)),
+            ("median task duration (s)", round(self.median_task_duration, 2)),
+            ("p95 task duration (s)", round(self.p95_task_duration, 2)),
+            ("mean slowest/median task", round(self.mean_slowest_to_median, 2)),
+        ]
+
+
+def trace_from_specs(job_specs: Iterable[JobSpec]) -> List[TraceJob]:
+    """Build trace records from generated job specs (input-phase works)."""
+    trace = []
+    for spec in job_specs:
+        trace.append(
+            TraceJob(
+                job_id=spec.job_id,
+                arrival_time=spec.arrival_time,
+                task_durations=list(spec.input_phase.task_works),
+            )
+        )
+    return trace
+
+
+def summarize_trace(trace: Sequence[TraceJob], name: str = "synthetic") -> TraceSummary:
+    """Compute Table 1 style statistics for a trace."""
+    if not trace:
+        raise ValueError("cannot summarise an empty trace")
+    bin_counts: Dict[str, int] = {"small": 0, "medium": 0, "large": 0}
+    all_durations: List[float] = []
+    ratios: List[float] = []
+    for job in trace:
+        bin_counts[job.size_bin] += 1
+        all_durations.extend(job.task_durations)
+        ratios.append(job.slowest_to_median_ratio)
+    return TraceSummary(
+        name=name,
+        num_jobs=len(trace),
+        num_tasks=len(all_durations),
+        bin_counts=bin_counts,
+        median_task_duration=median(all_durations),
+        p95_task_duration=percentile(all_durations, 95.0),
+        mean_slowest_to_median=mean(ratios),
+        mean_tasks_per_job=mean([float(job.num_tasks) for job in trace]),
+    )
+
+
+def save_trace(trace: Sequence[TraceJob], path: Union[str, Path]) -> None:
+    """Write a trace as JSON-lines."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for job in trace:
+            record = {
+                "job_id": job.job_id,
+                "arrival_time": job.arrival_time,
+                "task_durations": job.task_durations,
+            }
+            handle.write(json.dumps(record) + "\n")
+
+
+def load_trace(path: Union[str, Path]) -> List[TraceJob]:
+    """Read a JSON-lines trace written by :func:`save_trace` (or by users)."""
+    path = Path(path)
+    trace: List[TraceJob] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            trace.append(
+                TraceJob(
+                    job_id=int(record["job_id"]),
+                    arrival_time=float(record["arrival_time"]),
+                    task_durations=[float(d) for d in record["task_durations"]],
+                )
+            )
+    return trace

@@ -1,0 +1,57 @@
+"""Unit tests for the DAG builders and deadline apportioning (§5.2)."""
+
+import pytest
+
+from repro.core.bounds import ApproximationBound
+from repro.dag import chain_job, estimate_intermediate_time, map_only_job, map_reduce_job
+
+
+class TestBuilders:
+    def test_map_only_job(self):
+        spec = map_only_job(1, [2.0, 3.0], ApproximationBound.exact())
+        assert spec.dag_length == 1
+        assert spec.num_input_tasks == 2
+        assert spec.name == "map-only-1"
+
+    def test_map_reduce_job(self):
+        spec = map_reduce_job(2, [2.0] * 4, [5.0, 5.0], ApproximationBound.with_error(0.25))
+        assert spec.dag_length == 2
+        assert spec.num_tasks == 6
+        assert spec.intermediate_phases[0].task_count == 2
+
+    def test_chain_job_length(self):
+        spec = chain_job(
+            3,
+            [1.0] * 6,
+            [[2.0], [2.0, 2.0], [3.0]],
+            ApproximationBound.with_deadline(50.0),
+        )
+        assert spec.dag_length == 4
+        assert [phase.phase_index for phase in spec.phases] == [0, 1, 2, 3]
+
+    def test_builders_pass_through_options(self):
+        spec = map_only_job(
+            4, [1.0], ApproximationBound.exact(), arrival_time=7.0, max_slots=3, name="custom"
+        )
+        assert spec.arrival_time == 7.0
+        assert spec.max_slots == 3
+        assert spec.name == "custom"
+
+
+class TestIntermediateEstimate:
+    def test_single_wave_estimate_is_median_work(self):
+        spec = map_reduce_job(1, [1.0] * 4, [4.0, 6.0], ApproximationBound.exact())
+        assert estimate_intermediate_time(spec, allocation=2) == pytest.approx(5.0)
+
+    def test_multiple_waves_multiply_estimate(self):
+        spec = map_reduce_job(1, [1.0] * 4, [4.0, 4.0, 4.0, 4.0], ApproximationBound.exact())
+        assert estimate_intermediate_time(spec, allocation=2) == pytest.approx(8.0)
+
+    def test_map_only_job_has_zero_intermediate_time(self):
+        spec = map_only_job(1, [1.0, 2.0], ApproximationBound.exact())
+        assert estimate_intermediate_time(spec, allocation=2) == 0.0
+
+    def test_allocation_must_be_positive(self):
+        spec = map_only_job(1, [1.0], ApproximationBound.exact())
+        with pytest.raises(ValueError):
+            estimate_intermediate_time(spec, allocation=0)

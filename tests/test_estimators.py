@@ -1,0 +1,154 @@
+"""Unit tests for the trem / tnew estimators (§5.1)."""
+
+import pytest
+
+from repro.core.estimators import EstimateAccuracyTracker, EstimatorConfig, TaskEstimator
+from repro.core.task import Task, TaskCopy, TaskSpec
+from repro.utils.rng import RngStream
+
+
+def make_task(work: float = 10.0, task_id: int = 0) -> Task:
+    return Task(spec=TaskSpec(task_id=task_id, job_id=0, work=work))
+
+
+def running_task(work: float = 10.0, duration: float = 10.0, start: float = 0.0) -> Task:
+    task = make_task(work)
+    task.add_copy(
+        TaskCopy(copy_id=0, task_id=task.task_id, machine_id=0, start_time=start, duration=duration)
+    )
+    return task
+
+
+def make_estimator(config: EstimatorConfig = None) -> TaskEstimator:
+    return TaskEstimator(config or EstimatorConfig.perfect(), RngStream(0, "est"))
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = EstimatorConfig()
+        assert config.trem_noise > 0 and config.tnew_noise > 0
+
+    def test_perfect_has_no_noise(self):
+        config = EstimatorConfig.perfect()
+        assert config.trem_noise == 0.0 and config.tnew_noise == 0.0
+
+    def test_degraded_scales_noise(self):
+        degraded = EstimatorConfig.degraded(3.0)
+        base = EstimatorConfig()
+        assert degraded.trem_noise == pytest.approx(3.0 * base.trem_noise)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ValueError):
+            EstimatorConfig(trem_noise=-0.1)
+
+    def test_rejects_bad_progress_fraction(self):
+        with pytest.raises(ValueError):
+            EstimatorConfig(progress_report_fraction=0.0)
+
+
+class TestAccuracyTracker:
+    def test_perfect_estimates_give_accuracy_one(self):
+        tracker = EstimateAccuracyTracker()
+        tracker.record(10.0, 10.0)
+        assert tracker.accuracy == pytest.approx(1.0)
+
+    def test_accuracy_decreases_with_error(self):
+        tracker = EstimateAccuracyTracker()
+        tracker.record(5.0, 10.0)
+        assert tracker.accuracy == pytest.approx(0.5)
+
+    def test_accuracy_clamped_at_zero(self):
+        tracker = EstimateAccuracyTracker()
+        tracker.record(100.0, 10.0)
+        assert tracker.accuracy == 0.0
+
+    def test_empty_tracker_reports_one(self):
+        assert EstimateAccuracyTracker().accuracy == 1.0
+
+    def test_ignores_non_positive_actual(self):
+        tracker = EstimateAccuracyTracker()
+        tracker.record(5.0, 0.0)
+        assert tracker.sample_count == 0
+
+
+class TestTnew:
+    def test_prior_rate_before_samples(self):
+        estimator = make_estimator()
+        assert estimator.tnew(make_task(work=7.0)) == pytest.approx(7.0)
+
+    def test_uses_median_of_completed_rates(self):
+        estimator = make_estimator()
+        # Three completions at rates 1.0, 2.0, 3.0 seconds per unit work.
+        for rate in (1.0, 2.0, 3.0):
+            estimator.observe_completion(make_task(work=10.0), 10.0 * rate)
+        assert estimator.expected_work_rate() == pytest.approx(2.0)
+        assert estimator.tnew(make_task(work=5.0)) == pytest.approx(10.0)
+
+    def test_same_rate_for_all_tasks(self):
+        # The tnew error must never rank equal-sized tasks differently.
+        estimator = TaskEstimator(EstimatorConfig(), RngStream(1, "e"))
+        a = estimator.tnew(make_task(work=10.0, task_id=1))
+        b = estimator.tnew(make_task(work=10.0, task_id=2))
+        assert a == pytest.approx(b)
+
+    def test_tnew_scales_with_work(self):
+        estimator = make_estimator()
+        assert estimator.tnew(make_task(work=20.0)) == pytest.approx(
+            2.0 * estimator.tnew(make_task(work=10.0))
+        )
+
+    def test_rejects_bad_prior(self):
+        with pytest.raises(ValueError):
+            TaskEstimator(EstimatorConfig.perfect(), RngStream(0), prior_work_rate=0.0)
+
+
+class TestTrem:
+    def test_pending_task_falls_back_to_tnew(self):
+        estimator = make_estimator()
+        task = make_task(work=6.0)
+        assert estimator.trem(task, now=0.0) == pytest.approx(6.0)
+
+    def test_before_first_report_subtracts_elapsed(self):
+        estimator = make_estimator()
+        task = running_task(work=10.0, duration=100.0)
+        # At 2% progress there is no report yet; assume a typical copy.
+        assert estimator.trem(task, now=2.0) == pytest.approx(8.0)
+
+    def test_extrapolates_from_progress(self):
+        estimator = make_estimator()
+        task = running_task(work=10.0, duration=40.0)
+        # At t=10 the copy is 25% done; extrapolated total 40, remaining 30.
+        assert estimator.trem(task, now=10.0) == pytest.approx(30.0)
+
+    def test_straggler_has_trem_far_above_tnew(self):
+        estimator = make_estimator()
+        estimator.observe_completion(make_task(work=10.0, task_id=9), 10.0)
+        straggler = running_task(work=10.0, duration=80.0)
+        trem = estimator.trem(straggler, now=8.0)
+        assert trem > 5.0 * estimator.tnew(straggler)
+
+    def test_uses_best_copy(self):
+        estimator = make_estimator()
+        task = running_task(work=10.0, duration=80.0)
+        task.add_copy(
+            TaskCopy(copy_id=1, task_id=0, machine_id=1, start_time=4.0, duration=10.0)
+        )
+        # The second (fast) copy is halfway done at t=9: remaining 5.
+        assert estimator.trem(task, now=9.0) == pytest.approx(5.0)
+
+    def test_accuracy_tracking_updates(self):
+        estimator = make_estimator()
+        estimator.record_trem_outcome(8.0, 10.0)
+        assert estimator.trem_accuracy == pytest.approx(0.8)
+        estimator.observe_completion(make_task(work=10.0), 10.0)
+        assert estimator.tnew_accuracy == pytest.approx(1.0)
+        assert estimator.combined_accuracy == pytest.approx(0.9)
+
+    def test_noise_is_bounded_below(self):
+        estimator = TaskEstimator(
+            EstimatorConfig(trem_noise=5.0, tnew_noise=5.0), RngStream(5, "n")
+        )
+        task = running_task(work=10.0, duration=10.0)
+        for now in (1.0, 3.0, 5.0, 7.0):
+            assert estimator.trem(task, now) > 0.0
+            assert estimator.tnew(task) > 0.0

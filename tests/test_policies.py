@@ -1,0 +1,270 @@
+"""Unit tests for the GS and RAS policies (Pseudocode 1 and 2)."""
+
+import pytest
+
+from repro.core.bounds import ApproximationBound
+from repro.core.job import Job
+from repro.core.policies.base import (
+    SchedulingView,
+    TaskSnapshot,
+    deadline_candidates,
+    error_candidates,
+)
+from repro.core.policies.gs import GreedySpeculative
+from repro.core.policies.ras import ResourceAwareSpeculative
+from repro.core.task import TaskCopy
+
+from tests.conftest import make_job_spec
+
+
+def make_view(task_specs, bound, remaining_deadline=None, remaining_required=None, wave_width=4):
+    """Build a SchedulingView from (work, running, trem, tnew, copies) tuples."""
+    works = [entry[0] for entry in task_specs]
+    job = Job(make_job_spec(works, bound))
+    job.start(0.0)
+    snapshots = []
+    for task_id, (work, running, trem, tnew, copies) in enumerate(task_specs):
+        task = job.tasks[task_id]
+        if running:
+            for copy_index in range(copies):
+                task.add_copy(
+                    TaskCopy(
+                        copy_id=copy_index,
+                        task_id=task_id,
+                        machine_id=0,
+                        start_time=0.0,
+                        duration=max(trem, 1.0) + 1.0,
+                    )
+                )
+        snapshots.append(
+            TaskSnapshot(task=task, running=running, copies=copies if running else 0, trem=trem, tnew=tnew)
+        )
+    required = remaining_required
+    if required is None:
+        required = bound.required_tasks(len(task_specs))
+    return SchedulingView(
+        now=0.0,
+        job=job,
+        tasks=snapshots,
+        bound=bound,
+        remaining_deadline=remaining_deadline,
+        remaining_required_tasks=required,
+        wave_width=wave_width,
+        cluster_utilization=0.5,
+        estimator_accuracy=0.8,
+    )
+
+
+DEADLINE = ApproximationBound.with_deadline(100.0)
+ERROR = ApproximationBound.with_error(0.2)
+
+
+class TestTaskSnapshot:
+    def test_saving_formula(self):
+        view = make_view([(10.0, True, 9.0, 3.0, 1)], DEADLINE, remaining_deadline=50.0)
+        snap = view.tasks[0]
+        assert snap.saving == pytest.approx(1 * 9.0 - 2 * 3.0)
+
+    def test_pending_task_has_zero_saving(self):
+        view = make_view([(10.0, False, 10.0, 10.0, 0)], DEADLINE, remaining_deadline=50.0)
+        assert view.tasks[0].saving == 0.0
+
+    def test_effective_duration(self):
+        view = make_view([(10.0, True, 4.0, 7.0, 1)], DEADLINE, remaining_deadline=50.0)
+        assert view.tasks[0].effective_duration == 4.0
+
+    def test_speculation_beneficial_requires_running(self):
+        view = make_view(
+            [(10.0, True, 9.0, 3.0, 1), (10.0, False, 10.0, 10.0, 0)],
+            DEADLINE,
+            remaining_deadline=50.0,
+        )
+        assert view.tasks[0].speculation_beneficial
+        assert not view.tasks[1].speculation_beneficial
+
+
+class TestPruning:
+    def test_deadline_prunes_tasks_that_cannot_finish(self):
+        view = make_view(
+            [(10.0, False, 30.0, 30.0, 0), (10.0, False, 5.0, 5.0, 0)],
+            DEADLINE,
+            remaining_deadline=10.0,
+        )
+        kept = deadline_candidates(view, resource_aware=False)
+        assert [snap.task_id for snap in kept] == [1]
+
+    def test_deadline_gs_keeps_running_only_if_tnew_below_trem(self):
+        view = make_view(
+            [(10.0, True, 20.0, 8.0, 1), (10.0, True, 6.0, 8.0, 1)],
+            DEADLINE,
+            remaining_deadline=50.0,
+        )
+        kept = deadline_candidates(view, resource_aware=False)
+        assert [snap.task_id for snap in kept] == [0]
+
+    def test_deadline_ras_requires_positive_saving(self):
+        view = make_view(
+            [(10.0, True, 20.0, 8.0, 1), (10.0, True, 12.0, 8.0, 1)],
+            DEADLINE,
+            remaining_deadline=50.0,
+        )
+        kept = deadline_candidates(view, resource_aware=True)
+        # saving of task 0 = 20 - 16 = 4 > 0; task 1 = 12 - 16 < 0.
+        assert [snap.task_id for snap in kept] == [0]
+
+    def test_error_keeps_only_earliest_contributors(self):
+        view = make_view(
+            [
+                (10.0, False, 10.0, 10.0, 0),
+                (10.0, False, 2.0, 2.0, 0),
+                (10.0, False, 5.0, 5.0, 0),
+            ],
+            ERROR,
+            remaining_required=2,
+        )
+        kept = error_candidates(view, resource_aware=False)
+        assert sorted(snap.task_id for snap in kept) == [1, 2]
+
+    def test_error_with_zero_required_keeps_all(self):
+        view = make_view(
+            [(10.0, False, 10.0, 10.0, 0), (10.0, False, 2.0, 2.0, 0)],
+            ERROR,
+            remaining_required=0,
+        )
+        assert len(error_candidates(view, resource_aware=False)) == 2
+
+
+class TestGreedySpeculative:
+    def test_deadline_picks_smallest_tnew(self):
+        policy = GreedySpeculative()
+        view = make_view(
+            [(10.0, False, 9.0, 9.0, 0), (10.0, False, 4.0, 4.0, 0), (10.0, False, 6.0, 6.0, 0)],
+            DEADLINE,
+            remaining_deadline=50.0,
+        )
+        decision = policy.choose_task(view)
+        assert decision.task.task_id == 1
+        assert not decision.speculative
+
+    def test_deadline_speculates_when_duplicate_is_fastest(self):
+        policy = GreedySpeculative()
+        view = make_view(
+            [(10.0, True, 20.0, 3.0, 1), (10.0, False, 8.0, 8.0, 0)],
+            DEADLINE,
+            remaining_deadline=50.0,
+        )
+        decision = policy.choose_task(view)
+        assert decision.task.task_id == 0
+        assert decision.speculative
+
+    def test_deadline_tie_prefers_original_over_duplicate(self):
+        policy = GreedySpeculative()
+        view = make_view(
+            [(10.0, True, 20.0, 8.0, 1), (10.0, False, 8.0, 8.0, 0)],
+            DEADLINE,
+            remaining_deadline=50.0,
+        )
+        assert policy.choose_task(view).task.task_id == 1
+
+    def test_deadline_falls_back_to_pending_when_everything_pruned(self):
+        # The deadline filter drops every task, but leaving the slot idle is
+        # never better than trying the shortest pending task (durations are
+        # stochastic), so the policy falls back instead of returning None.
+        policy = GreedySpeculative()
+        view = make_view(
+            [(10.0, False, 30.0, 30.0, 0)], DEADLINE, remaining_deadline=5.0
+        )
+        decision = policy.choose_task(view)
+        assert decision is not None and not decision.speculative
+
+    def test_error_picks_largest_remaining(self):
+        policy = GreedySpeculative()
+        view = make_view(
+            [(10.0, True, 30.0, 10.0, 1), (10.0, False, 10.0, 10.0, 0)],
+            ERROR,
+            remaining_required=2,
+        )
+        decision = policy.choose_task(view)
+        assert decision.task.task_id == 0 and decision.speculative
+
+    def test_copy_cap_blocks_further_duplicates(self):
+        policy = GreedySpeculative(max_copies_per_task=2)
+        view = make_view(
+            [(10.0, True, 30.0, 3.0, 2)], DEADLINE, remaining_deadline=50.0
+        )
+        assert policy.choose_task(view) is None
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ValueError):
+            GreedySpeculative(max_copies_per_task=0)
+
+
+class TestResourceAwareSpeculative:
+    def test_prefers_positive_saving_duplicate_over_pending(self):
+        policy = ResourceAwareSpeculative()
+        view = make_view(
+            [(10.0, True, 20.0, 4.0, 1), (10.0, False, 2.0, 2.0, 0)],
+            DEADLINE,
+            remaining_deadline=50.0,
+        )
+        decision = policy.choose_task(view)
+        assert decision.task.task_id == 0 and decision.speculative
+
+    def test_falls_back_to_sjf_without_savings(self):
+        policy = ResourceAwareSpeculative()
+        view = make_view(
+            [(10.0, True, 10.0, 8.0, 1), (10.0, False, 2.0, 2.0, 0), (10.0, False, 6.0, 6.0, 0)],
+            DEADLINE,
+            remaining_deadline=50.0,
+        )
+        decision = policy.choose_task(view)
+        assert decision.task.task_id == 1 and not decision.speculative
+
+    def test_picks_highest_saving_among_duplicates(self):
+        policy = ResourceAwareSpeculative()
+        view = make_view(
+            [(10.0, True, 20.0, 4.0, 1), (10.0, True, 40.0, 4.0, 1)],
+            DEADLINE,
+            remaining_deadline=50.0,
+        )
+        assert policy.choose_task(view).task.task_id == 1
+
+    def test_error_bound_default_is_ljf(self):
+        policy = ResourceAwareSpeculative()
+        view = make_view(
+            [(10.0, False, 4.0, 4.0, 0), (10.0, False, 9.0, 9.0, 0)],
+            ERROR,
+            remaining_required=2,
+        )
+        assert policy.choose_task(view).task.task_id == 1
+
+    def test_error_bound_ignores_low_saving_straggler(self):
+        policy = ResourceAwareSpeculative()
+        view = make_view(
+            [(10.0, True, 12.0, 8.0, 1), (10.0, False, 9.0, 9.0, 0)],
+            ERROR,
+            remaining_required=2,
+        )
+        decision = policy.choose_task(view)
+        assert decision.task.task_id == 1 and not decision.speculative
+
+    def test_falls_back_to_beneficial_duplicate_when_everything_pruned(self):
+        policy = ResourceAwareSpeculative()
+        view = make_view(
+            [(10.0, True, 10.0, 8.0, 1)], DEADLINE, remaining_deadline=5.0
+        )
+        decision = policy.choose_task(view)
+        assert decision is not None and decision.speculative
+
+    def test_returns_none_when_no_useful_fallback_exists(self):
+        policy = ResourceAwareSpeculative()
+        # The only task's duplicate would be slower than its running copy, so
+        # even the fallback has nothing worth launching.
+        view = make_view(
+            [(10.0, True, 5.0, 8.0, 1)], DEADLINE, remaining_deadline=3.0
+        )
+        assert policy.choose_task(view) is None
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ValueError):
+            ResourceAwareSpeculative(max_copies_per_task=0)
