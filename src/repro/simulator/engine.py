@@ -71,6 +71,11 @@ class Simulation:
         self._now = 0.0
         self._rng = RngStream(config.seed, "engine")
         self._job_specs = sorted(job_specs, key=lambda spec: (spec.arrival_time, spec.job_id))
+        self._spec_by_id: Dict[int, JobSpec] = {
+            spec.job_id: spec for spec in self._job_specs
+        }
+        if len(self._spec_by_id) != len(self._job_specs):
+            raise ValueError("job ids must be unique within a workload")
         self._jobs: Dict[int, Job] = {}
         self._estimators: Dict[int, TaskEstimator] = {}
         self._running_job_ids: List[int] = []
@@ -130,7 +135,7 @@ class Simulation:
             self._handle_deadline(event.payload["job_id"])
 
     def _handle_arrival(self, job_id: int) -> None:
-        spec = next(s for s in self._job_specs if s.job_id == job_id)
+        spec = self._spec_by_id[job_id]
         job = Job(spec)
         job.start(self._now)
         self._jobs[job_id] = job
