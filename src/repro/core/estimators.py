@@ -115,6 +115,7 @@ class TaskEstimator:
         self.config = config
         self._rng = rng
         self._completed_durations_per_work: list = []
+        self._work_rate_cache: Optional[float] = None
         self._prior_work_rate = prior_work_rate
         self.trem_tracker = EstimateAccuracyTracker()
         self.tnew_tracker = EstimateAccuracyTracker()
@@ -144,6 +145,7 @@ class TaskEstimator:
         estimated = self.tnew(task)
         self.tnew_tracker.record(estimated, actual_duration)
         self._completed_durations_per_work.append(actual_duration / task.work)
+        self._work_rate_cache = None
 
     def record_trem_outcome(self, estimated: float, actual: float) -> None:
         """Feed the realised remaining time back into the accuracy tracker."""
@@ -156,10 +158,17 @@ class TaskEstimator:
         return len(self._completed_durations_per_work)
 
     def expected_work_rate(self) -> float:
-        """Seconds of duration per unit of task work, from completed samples."""
-        if self._completed_durations_per_work:
-            return median(self._completed_durations_per_work)
-        return self._prior_work_rate
+        """Seconds of duration per unit of task work, from completed samples.
+
+        The median is cached between completions: ``tnew`` is called once per
+        schedulable task per scheduling pass, and re-sorting the sample list
+        each time dominated the engine's hot path before caching.
+        """
+        if not self._completed_durations_per_work:
+            return self._prior_work_rate
+        if self._work_rate_cache is None:
+            self._work_rate_cache = median(self._completed_durations_per_work)
+        return self._work_rate_cache
 
     def tnew(self, task: Task) -> float:
         """Estimated duration of a brand-new copy of ``task``.

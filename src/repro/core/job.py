@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.bounds import ApproximationBound
-from repro.core.task import Task, TaskSpec, TaskState
+from repro.core.task import Task, TaskObserver, TaskSpec, TaskState
 
 
 @dataclass(frozen=True)
@@ -148,8 +148,16 @@ class JobResult:
         return "large"
 
 
-class Job:
-    """Runtime state of a job inside the simulator."""
+class Job(TaskObserver):
+    """Runtime state of a job inside the simulator.
+
+    The job observes its own tasks (via :class:`~repro.core.task.TaskObserver`)
+    and keeps per-phase pending/completed counters, the set of unfinished
+    tasks per phase and the job-wide running-copy count incrementally, so the
+    scheduler's per-event queries (``schedulable_tasks``, ``current_phase``,
+    ``running_copy_count``, ...) are O(1) or O(schedulable) instead of
+    rescanning every task and copy.
+    """
 
     def __init__(self, spec: JobSpec) -> None:
         self.spec = spec
@@ -161,12 +169,22 @@ class Job:
         self.speculative_copies_launched: int = 0
         self.tasks: Dict[int, Task] = {}
         self._tasks_by_phase: List[List[Task]] = []
+        self._completed_by_phase: List[int] = [0] * spec.dag_length
+        self._pending_by_phase: List[int] = [
+            phase.task_count for phase in spec.phases
+        ]
+        # Insertion-ordered task_id -> Task maps; deletion on completion keeps
+        # the iteration order identical to filtering the phase's task list.
+        self._unfinished_by_phase: List[Dict[int, Task]] = []
+        self._phase_cursor: int = 0
+        self._running_copy_total: int = 0
         self._build_tasks()
 
     def _build_tasks(self) -> None:
         task_id = 0
         for phase in self.spec.phases:
             phase_tasks: List[Task] = []
+            unfinished: Dict[int, Task] = {}
             for work in phase.task_works:
                 spec = TaskSpec(
                     task_id=task_id,
@@ -175,10 +193,30 @@ class Job:
                     phase_index=phase.phase_index,
                 )
                 task = Task(spec=spec)
+                task.observer = self
                 self.tasks[task_id] = task
                 phase_tasks.append(task)
+                unfinished[task_id] = task
                 task_id += 1
             self._tasks_by_phase.append(phase_tasks)
+            self._unfinished_by_phase.append(unfinished)
+
+    # -- task observation (incremental counters) ---------------------------------
+
+    def note_task_started(self, task: Task) -> None:
+        self._pending_by_phase[task.phase_index] -= 1
+
+    def note_copies_changed(self, task: Task, delta: int) -> None:
+        self._running_copy_total += delta
+
+    def note_task_completed(self, task: Task) -> None:
+        self._completed_by_phase[task.phase_index] += 1
+        self._unfinished_by_phase[task.phase_index].pop(task.task_id, None)
+
+    def note_task_abandoned(self, task: Task, was_pending: bool) -> None:
+        if was_pending:
+            self._pending_by_phase[task.phase_index] -= 1
+        self._unfinished_by_phase[task.phase_index].pop(task.task_id, None)
 
     # -- identity --------------------------------------------------------------
 
@@ -233,13 +271,13 @@ class Job:
         return [task for task in self.tasks.values() if task.is_running]
 
     def running_copy_count(self) -> int:
-        return sum(task.running_copy_count for task in self.tasks.values())
+        return self._running_copy_total
 
     def completed_input_tasks(self) -> int:
-        return sum(1 for task in self.input_tasks if task.is_completed)
+        return self._completed_by_phase[0]
 
     def completed_phase_tasks(self, phase_index: int) -> int:
-        return sum(1 for task in self.phase_tasks(phase_index) if task.is_completed)
+        return self._completed_by_phase[phase_index]
 
     def phase_complete(self, phase_index: int, required: Optional[int] = None) -> bool:
         """True if a phase has finished enough tasks (all, unless ``required``)."""
@@ -265,23 +303,36 @@ class Job:
         required number of tasks (all tasks for intermediate phases; the
         bound-determined fraction for the input phase).
         """
-        for index in range(self.dag_length):
+        while self._phase_cursor < self.dag_length:
             required = None
-            if index == 0:
+            if self._phase_cursor == 0:
                 required = self.required_input_tasks()
-            if not self.phase_complete(index, required):
-                return index
-        return self.dag_length
+            if not self.phase_complete(self._phase_cursor, required):
+                break
+            self._phase_cursor += 1
+        return self._phase_cursor
 
     def schedulable_tasks(self, now: float) -> List[Task]:
         """Tasks the scheduler may act on right now (current phase only)."""
         phase = self.current_phase()
         if phase >= self.dag_length:
             return []
-        return [task for task in self.phase_tasks(phase) if not task.is_finished]
+        return list(self._unfinished_by_phase[phase].values())
+
+    def schedulable_counts(self) -> "tuple[int, int]":
+        """O(1) ``(pending, running)`` counts over the schedulable tasks.
+
+        This is what fair-share demand estimation needs; it avoids
+        materialising the schedulable task list on every allocation pass.
+        """
+        phase = self.current_phase()
+        if phase >= self.dag_length:
+            return 0, 0
+        pending = self._pending_by_phase[phase]
+        return pending, len(self._unfinished_by_phase[phase]) - pending
 
     def pending_task_count(self) -> int:
-        return sum(1 for task in self.tasks.values() if task.is_pending)
+        return sum(self._pending_by_phase)
 
     # -- accounting --------------------------------------------------------------
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 
 class TaskState(Enum):
@@ -112,6 +112,29 @@ class TaskCopy:
         self.end_time = now
 
 
+class TaskObserver:
+    """Interface for objects that track task state changes incrementally.
+
+    :class:`~repro.core.job.Job` implements it to maintain O(1) per-phase
+    pending/completed counters and the job-wide running-copy count, so the
+    simulator's hot path never has to rescan every task.  All notifications
+    fire from the :class:`Task` mutators themselves, which keeps the counters
+    correct no matter who drives the task (the engine or a unit test).
+    """
+
+    def note_task_started(self, task: "Task") -> None:
+        """The task launched its first copy (PENDING -> RUNNING)."""
+
+    def note_copies_changed(self, task: "Task", delta: int) -> None:
+        """The task's running-copy count changed by ``delta``."""
+
+    def note_task_completed(self, task: "Task") -> None:
+        """The task completed (some copy finished)."""
+
+    def note_task_abandoned(self, task: "Task", was_pending: bool) -> None:
+        """The task was abandoned before completing."""
+
+
 @dataclass
 class Task:
     """Runtime state of a task: its spec plus every copy launched for it."""
@@ -121,6 +144,19 @@ class Task:
     copies: List[TaskCopy] = field(default_factory=list)
     completion_time: Optional[float] = None
     first_start_time: Optional[float] = None
+    observer: Optional[TaskObserver] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _copies_by_id: Dict[int, TaskCopy] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _num_running: int = field(default=0, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        for copy in self.copies:
+            self._copies_by_id[copy.copy_id] = copy
+            if copy.is_running():
+                self._num_running += 1
 
     # -- identity ------------------------------------------------------------
 
@@ -149,7 +185,7 @@ class Task:
     @property
     def running_copy_count(self) -> int:
         """Number of currently running copies — the ``c`` of Pseudocode 1."""
-        return len(self.running_copies)
+        return self._num_running
 
     @property
     def total_copies_launched(self) -> int:
@@ -178,10 +214,22 @@ class Task:
             raise RuntimeError("cannot launch a copy of a finished task")
         if copy.task_id != self.task_id:
             raise ValueError("copy belongs to a different task")
+        was_pending = self.state is TaskState.PENDING
         self.copies.append(copy)
+        self._copies_by_id[copy.copy_id] = copy
+        if copy.is_running():
+            self._num_running += 1
         if self.first_start_time is None:
             self.first_start_time = copy.start_time
         self.state = TaskState.RUNNING
+        if self.observer is not None:
+            if was_pending:
+                self.observer.note_task_started(self)
+            self.observer.note_copies_changed(self, +1)
+
+    def copy_by_id(self, copy_id: int) -> Optional[TaskCopy]:
+        """O(1) lookup of a copy by its id (the engine's completion hot path)."""
+        return self._copies_by_id.get(copy_id)
 
     def earliest_finish_time(self) -> float:
         """Earliest wall-clock finish among the running copies."""
@@ -214,19 +262,32 @@ class Task:
             if copy.is_running():
                 copy.kill(now)
                 killed.append(copy)
+        stopped = self._num_running
+        self._num_running = 0
         self.state = TaskState.COMPLETED
         self.completion_time = now
+        if self.observer is not None:
+            if stopped:
+                self.observer.note_copies_changed(self, -stopped)
+            self.observer.note_task_completed(self)
         return killed
 
     def abandon(self, now: float) -> List[TaskCopy]:
         """Abandon the task (job hit its bound); kill any running copies."""
+        was_pending = self.state is TaskState.PENDING
         killed = []
         for copy in self.copies:
             if copy.is_running():
                 copy.kill(now)
                 killed.append(copy)
+        stopped = self._num_running
+        self._num_running = 0
         if not self.is_completed:
             self.state = TaskState.ABANDONED
+            if self.observer is not None:
+                if stopped:
+                    self.observer.note_copies_changed(self, -stopped)
+                self.observer.note_task_abandoned(self, was_pending)
         return killed
 
     def wasted_work(self) -> float:

@@ -71,6 +71,7 @@ class Cluster:
             machine.machine_id: machine for machine in self.machines
         }
         self._placement_rng = rng.spawn("placement")
+        self._busy_count = 0
 
     # -- capacity ---------------------------------------------------------------
 
@@ -80,7 +81,7 @@ class Cluster:
 
     @property
     def busy_slots(self) -> int:
-        return sum(machine.busy_slots for machine in self.machines)
+        return self._busy_count
 
     @property
     def free_slots(self) -> int:
@@ -116,9 +117,11 @@ class Cluster:
 
     def occupy(self, machine_id: int, job_id: int, task_id: int, copy_id: int) -> None:
         self.machine(machine_id).occupy(job_id, task_id, copy_id)
+        self._busy_count += 1
 
     def release(self, machine_id: int, job_id: int, task_id: int, copy_id: int) -> None:
         self.machine(machine_id).release(job_id, task_id, copy_id)
+        self._busy_count -= 1
 
     # -- fair sharing ---------------------------------------------------------------
 

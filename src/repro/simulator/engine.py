@@ -12,6 +12,27 @@ cluster under one speculation policy.  It owns:
 It deliberately knows nothing about *which* policy it is running; GS, RAS,
 GRASS, LATE, Mantri and the oracle all plug into the same
 :class:`~repro.core.policies.base.SpeculationPolicy` interface.
+
+Performance
+-----------
+
+The event loop is engineered so that processing one event costs O(affected
+state), never O(cluster) or O(workload):
+
+* job specs, jobs and task copies are reached through ``dict`` indexes
+  (``job_id -> JobSpec``, ``copy_id -> TaskCopy``) instead of linear scans;
+* jobs maintain per-phase pending/completed counters and running-copy totals
+  incrementally (see :class:`~repro.core.task.TaskObserver`), so scheduling
+  queries never rescan every task;
+* fair-share allocations are recomputed only when a *dirty flag* says the
+  running-job set or some job's schedulable counts actually changed;
+* ``COPY_FINISH`` events of killed copies and ``JOB_DEADLINE`` events of
+  early-finishing jobs are cancelled via :meth:`EventQueue.cancel` rather
+  than popped and discarded, keeping the heap small and the simulated
+  timeline free of dead wake-ups.
+
+``benchmarks/bench_engine_hotpath.py`` tracks the resulting events/second;
+regressions in this file show up directly in its ``BENCH_engine.json``.
 """
 
 from __future__ import annotations
@@ -25,7 +46,7 @@ from repro.core.job import Job, JobSpec
 from repro.core.policies.base import SchedulingView, SpeculationPolicy, TaskSnapshot
 from repro.core.task import Task, TaskCopy
 from repro.simulator.cluster import Cluster, ClusterConfig
-from repro.simulator.events import EventKind, EventQueue
+from repro.simulator.events import Event, EventKind, EventQueue
 from repro.simulator.metrics import MetricsCollector
 from repro.simulator.stragglers import StragglerConfig, StragglerModel
 from repro.utils.rng import RngStream
@@ -83,6 +104,14 @@ class Simulation:
         self._reserved_slots = int(
             round(config.background_utilization * self.cluster.total_slots)
         )
+        # Outstanding event handles, used to cancel events that can no longer
+        # matter (killed copies, jobs that finished before their deadline).
+        self._deadline_events: Dict[int, Event] = {}
+        self._copy_finish_events: Dict[int, Event] = {}
+        # Fair-share allocations are recomputed lazily: any mutation that can
+        # change a job's demand (or the running-job set) raises this flag.
+        self._alloc_dirty = True
+        self.events_processed = 0
 
     # ------------------------------------------------------------------ lifecycle
 
@@ -123,6 +152,7 @@ class Simulation:
 
     def _process_event(self, event) -> None:
         """Apply one event's state changes (no scheduling decisions here)."""
+        self.events_processed += 1
         if event.kind is EventKind.JOB_ARRIVAL:
             self._handle_arrival(event.payload["job_id"])
         elif event.kind is EventKind.COPY_FINISH:
@@ -143,6 +173,7 @@ class Simulation:
             self.config.estimator, self._rng.spawn(f"estimator/{job_id}")
         )
         self._running_job_ids.append(job_id)
+        self._alloc_dirty = True
         self._recompute_allocations()
         self._set_input_deadline(job)
         if spec.bound.is_deadline:
@@ -150,35 +181,48 @@ class Simulation:
             effective = job.input_deadline
             if effective is None:
                 effective = spec.bound.deadline
-            self._events.push(
+            self._deadline_events[job_id] = self._events.push(
                 self._now + effective, EventKind.JOB_DEADLINE, job_id=job_id
             )
         self.policy.on_job_start(job, self._now)
 
     def _handle_copy_finish(self, job_id: int, task_id: int, copy_id: int) -> None:
-        job = self._jobs.get(job_id)
-        if job is None or not job.is_running:
-            return
+        job = self._jobs[job_id]
+        # Killed copies and finished jobs cancel their outstanding events, so
+        # a fired COPY_FINISH always refers to a live copy of a running job.
+        assert job.is_running, "COPY_FINISH fired for a finished job"
         task = job.tasks[task_id]
-        copy = self._find_copy(task, copy_id)
-        if copy is None or not copy.is_running():
-            return  # The copy was killed before its completion event fired.
+        copy = task.copy_by_id(copy_id)
+        assert copy is not None and copy.is_running(), (
+            "COPY_FINISH fired for a killed copy (its event should have been "
+            "cancelled)"
+        )
+        self._copy_finish_events.pop(copy_id, None)
         estimator = self._estimators[job_id]
         killed = task.complete(self._now, copy)
         self._release_copy(job, copy)
         for victim in killed:
+            self._cancel_copy_event(victim.copy_id)
             self._release_copy(job, victim)
             self.metrics.record_wasted_work(victim.end_time - victim.start_time)
+        self._alloc_dirty = True
         actual_duration = copy.end_time - copy.start_time
         estimator.observe_completion(task, actual_duration)
         if job.all_required_work_done():
             self._finish_job(job)
 
     def _handle_deadline(self, job_id: int) -> None:
+        self._deadline_events.pop(job_id, None)
         job = self._jobs.get(job_id)
         if job is None or not job.is_running:
             return
         self._finish_job(job)
+
+    def _cancel_copy_event(self, copy_id: int) -> None:
+        """Drop the pending COPY_FINISH event of a killed copy, if any."""
+        event = self._copy_finish_events.pop(copy_id, None)
+        if event is not None:
+            self._events.cancel(event)
 
     # ------------------------------------------------------------------ job management
 
@@ -210,13 +254,18 @@ class Simulation:
         )
 
     def _finish_job(self, job: Job) -> None:
+        deadline_event = self._deadline_events.pop(job.job_id, None)
+        if deadline_event is not None:
+            self._events.cancel(deadline_event)
         killed = job.abandon_incomplete_tasks(self._now)
         for victim in killed:
+            self._cancel_copy_event(victim.copy_id)
             self._release_copy(job, victim)
             self.metrics.record_wasted_work(victim.end_time - victim.start_time)
         job.finish(self._now)
         if job.job_id in self._running_job_ids:
             self._running_job_ids.remove(job.job_id)
+        self._alloc_dirty = True
         estimator = self._estimators[job.job_id]
         result = job.to_result(
             policy_label=self.policy.label(),
@@ -226,15 +275,16 @@ class Simulation:
         self.policy.on_job_finish(job, result, self._now)
 
     def _recompute_allocations(self) -> None:
+        if not self._alloc_dirty:
+            return
+        self._alloc_dirty = False
         if not self._running_job_ids:
             return
         demands: Dict[int, int] = {}
         caps: Dict[int, Optional[int]] = {}
         for job_id in self._running_job_ids:
             job = self._jobs[job_id]
-            schedulable = job.schedulable_tasks(self._now)
-            pending = sum(1 for task in schedulable if task.is_pending)
-            running = sum(1 for task in schedulable if task.is_running)
+            pending, running = job.schedulable_counts()
             # Each running task could host one extra speculative copy.
             demands[job_id] = max(1, pending + 2 * running)
             caps[job_id] = job.spec.max_slots
@@ -361,11 +411,12 @@ class Simulation:
         )
         self._copy_counter += 1
         task.add_copy(copy)
-        machine.occupy(job.job_id, task.task_id, copy.copy_id)
+        self.cluster.occupy(machine.machine_id, job.job_id, task.task_id, copy.copy_id)
         if speculative:
             job.speculative_copies_launched += 1
         self.metrics.record_copy_launch(speculative)
-        self._events.push(
+        self._alloc_dirty = True
+        self._copy_finish_events[copy.copy_id] = self._events.push(
             copy.finish_time,
             EventKind.COPY_FINISH,
             job_id=job.job_id,
@@ -375,13 +426,6 @@ class Simulation:
 
     def _release_copy(self, job: Job, copy: TaskCopy) -> None:
         self.cluster.release(copy.machine_id, job.job_id, copy.task_id, copy.copy_id)
-
-    @staticmethod
-    def _find_copy(task: Task, copy_id: int) -> Optional[TaskCopy]:
-        for copy in task.copies:
-            if copy.copy_id == copy_id:
-                return copy
-        return None
 
 
 def run_simulation(

@@ -54,18 +54,25 @@ class Event:
 
 
 class EventQueue:
-    """A deterministic min-heap of events."""
+    """A deterministic min-heap of events with lazy cancellation.
+
+    ``cancel`` marks an event dead without touching the heap; dead entries
+    are skipped (and physically removed) by ``pop``/``peek_time``.  ``len``
+    and ``bool`` count only live events, so callers can treat a queue whose
+    remaining entries are all cancelled as empty.
+    """
 
     def __init__(self) -> None:
         self._heap: list = []
         self._counter: Iterator[int] = itertools.count()
         self._cancelled: set = set()
+        self._pending: set = set()
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return len(self._pending)
 
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        return bool(self._pending)
 
     def push(self, time: float, kind: EventKind, **payload: Any) -> Event:
         """Schedule an event and return it (the handle can be cancelled)."""
@@ -77,11 +84,18 @@ class EventQueue:
             payload=payload,
         )
         heapq.heappush(self._heap, event)
+        self._pending.add(event.sequence)
         return event
 
     def cancel(self, event: Event) -> None:
-        """Lazily cancel an event: it will be skipped when popped."""
-        self._cancelled.add(event.sequence)
+        """Lazily cancel an event: it will be skipped when popped.
+
+        Cancelling an event that was already popped (or cancelled) is a
+        no-op, so callers don't need to track whether a handle already fired.
+        """
+        if event.sequence in self._pending:
+            self._pending.discard(event.sequence)
+            self._cancelled.add(event.sequence)
 
     def pop(self) -> Optional[Event]:
         """Pop the earliest non-cancelled event, or None if the queue is empty."""
@@ -90,6 +104,7 @@ class EventQueue:
             if event.sequence in self._cancelled:
                 self._cancelled.discard(event.sequence)
                 continue
+            self._pending.discard(event.sequence)
             return event
         return None
 
@@ -105,3 +120,4 @@ class EventQueue:
     def clear(self) -> None:
         self._heap.clear()
         self._cancelled.clear()
+        self._pending.clear()
