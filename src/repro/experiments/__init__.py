@@ -2,12 +2,15 @@
 
 * :mod:`repro.experiments.policies` — the named policy registry used across
   figures ("late", "mantri", "gs", "ras", "grass", "oracle", ...).
+* :mod:`repro.experiments.executor` — fans independent (policy, seed) runs
+  out over worker processes with a deterministic merge.
 * :mod:`repro.experiments.runner` — runs a workload under one or more
   policies and computes the paper's improvement metrics.
 * :mod:`repro.experiments.figures` — one function per table/figure.
 * :mod:`repro.experiments.cli` — ``grass-experiments <figure>`` command line.
 """
 
+from repro.experiments.executor import ParallelExecutor, RunRequest
 from repro.experiments.policies import available_policies, make_policy
 from repro.experiments.runner import (
     ComparisonResult,
@@ -22,6 +25,8 @@ from repro.experiments.runner import (
 __all__ = [
     "available_policies",
     "make_policy",
+    "ParallelExecutor",
+    "RunRequest",
     "ComparisonResult",
     "ExperimentScale",
     "PolicyRun",

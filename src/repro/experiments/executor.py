@@ -1,0 +1,131 @@
+"""Parallel execution of simulation runs.
+
+``compare_policies`` at the paper scale is 300 jobs x 3 seeds x ~7 policies
+of strictly independent simulations — an embarrassingly parallel workload
+that the serial harness turned into an overnight job.  This module provides
+:class:`ParallelExecutor`, which fans :class:`RunRequest` batches out over a
+``multiprocessing`` pool and merges the resulting
+:class:`~repro.simulator.metrics.MetricsCollector` objects back **in request
+order**, so the output is bit-identical to the serial path no matter how the
+OS schedules the workers.
+
+Determinism contract
+--------------------
+
+* Each request is self-contained: the worker constructs its own policy
+  instance (policies are stateful learners) and its own ``Simulation``, so
+  nothing is shared across processes.
+* Every simulation is seeded explicitly; a ``(policy, seed)`` run therefore
+  produces the same ``MetricsCollector`` whether it executes in this process,
+  a worker process, or a different worker count.
+* ``Pool.map`` preserves input order, and the executor never reorders
+  results, so ``workers=N`` and ``workers=1`` return byte-identical payloads
+  (``tests/test_executor.py`` locks this in with a pickle comparison).
+
+The serial path (``workers=1``) does not touch ``multiprocessing`` at all,
+which keeps unit tests and platforms without ``fork`` happy.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.policies.base import SpeculationPolicy
+from repro.experiments.policies import make_policy
+from repro.simulator.engine import Simulation, SimulationConfig
+from repro.simulator.metrics import MetricsCollector
+from repro.workload.synthetic import GeneratedWorkload
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One independent simulation: a policy over a workload under one seed.
+
+    The policy is named by registry name (``policy_name``) or passed as a
+    ready instance (``policy``); exactly one must be given.  Named requests
+    are safe to ship to worker processes; instance requests keep their
+    (possibly stateful, pre-warmed) policy object and are therefore pinned to
+    in-process execution.
+    """
+
+    workload: GeneratedWorkload
+    config: SimulationConfig
+    policy_name: Optional[str] = None
+    policy: Optional[SpeculationPolicy] = None
+    warmup: Optional[GeneratedWorkload] = None
+
+    def __post_init__(self) -> None:
+        if (self.policy_name is None) == (self.policy is None):
+            raise ValueError("give exactly one of policy_name or policy")
+
+    @property
+    def parallel_safe(self) -> bool:
+        """True if this request may run in a worker process."""
+        return self.policy is None
+
+    def execute(self) -> MetricsCollector:
+        """Run this request in the current process and return its metrics.
+
+        The warm-up pass exists for learning policies (GRASS): the same
+        policy instance first processes a separate workload so its sample
+        store reflects cluster history, exactly as a long-running production
+        scheduler would.  Warm-up results are discarded.
+        """
+        policy = self.policy if self.policy is not None else make_policy(self.policy_name)
+        if self.warmup is not None and self.warmup.job_specs:
+            Simulation(self.config, policy, self.warmup.specs()).run()
+        return Simulation(self.config, policy, self.workload.specs()).run()
+
+
+def _execute_request(request: RunRequest) -> MetricsCollector:
+    """Module-level trampoline so requests can cross a process boundary."""
+    return request.execute()
+
+
+def default_worker_count() -> int:
+    """Worker count used when the caller passes ``workers=0`` ("auto")."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+class ParallelExecutor:
+    """Runs batches of :class:`RunRequest` serially or over worker processes.
+
+    ``workers=1`` (the default) executes in-process; ``workers>1`` uses a
+    ``multiprocessing`` pool of that size; ``workers=0`` auto-sizes to the
+    machine (``cpu_count - 1``).  Results always come back in request order.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0 (0 means auto)")
+        self.workers = workers if workers > 0 else default_worker_count()
+
+    def run(self, requests: Sequence[RunRequest]) -> List[MetricsCollector]:
+        """Execute every request and return metrics in request order.
+
+        Requests pinned to in-process execution (policy instances) run here;
+        the parallel-safe remainder fans out over the pool.  A mixed batch
+        therefore still parallelises everything it can.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        safe_indices = [
+            index for index, request in enumerate(requests) if request.parallel_safe
+        ]
+        results: List[Optional[MetricsCollector]] = [None] * len(requests)
+        if self.workers > 1 and len(safe_indices) > 1:
+            pool_size = min(self.workers, len(safe_indices))
+            with multiprocessing.Pool(processes=pool_size) as pool:
+                fanned_out = pool.map(
+                    _execute_request, [requests[index] for index in safe_indices]
+                )
+            for index, metrics in zip(safe_indices, fanned_out):
+                results[index] = metrics
+        for index, request in enumerate(requests):
+            if results[index] is None:
+                results[index] = request.execute()
+        return results

@@ -9,15 +9,16 @@ per error bin.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.core.bounds import BoundType
 from repro.core.job import JobResult
 from repro.core.policies.base import SpeculationPolicy
-from repro.experiments.policies import make_policy, needs_oracle_estimates
+from repro.experiments.executor import ParallelExecutor, RunRequest
+from repro.experiments.policies import needs_oracle_estimates
 from repro.simulator.cluster import ClusterConfig
-from repro.simulator.engine import Simulation, SimulationConfig
+from repro.simulator.engine import SimulationConfig
 from repro.simulator.metrics import MetricsCollector
 from repro.workload.bins import deadline_bin_label, error_bin_label
 from repro.workload.synthetic import GeneratedWorkload, WorkloadConfig, generate_workload
@@ -39,6 +40,10 @@ class ExperimentScale:
     num_machines: int = 150
     seeds: Sequence[int] = (1,)
     warmup_jobs: int = 40
+    #: Worker processes used to fan (policy, seed) runs out; 1 = serial,
+    #: 0 = auto-size to the machine.  Results are merged deterministically,
+    #: so this knob never changes the numbers — only the wall-clock time.
+    workers: int = 1
 
     @classmethod
     def quick(cls) -> "ExperimentScale":
@@ -131,17 +136,19 @@ def run_policy(
     oracle_estimates: bool = False,
     warmup: Optional[GeneratedWorkload] = None,
 ) -> MetricsCollector:
-    """Run one policy over one workload (optionally warming it up first).
+    """Run one policy instance over one workload (optionally warmed up first).
 
-    The warm-up pass exists for learning policies (GRASS): the same policy
-    instance first processes a separate workload so its sample store reflects
-    cluster history, exactly as a long-running production scheduler would.
-    Warm-up results are discarded.
+    The instance may carry state (a warm-started GRASS learner), so the run
+    executes in-process; use :func:`compare_policies` with ``workers`` to fan
+    registry-named policies out over processes.
     """
-    config = build_simulation_config(workload, scale, seed, oracle_estimates)
-    if warmup is not None and warmup.job_specs:
-        Simulation(config, policy, warmup.specs()).run()
-    return Simulation(config, policy, workload.specs()).run()
+    request = RunRequest(
+        workload=workload,
+        config=build_simulation_config(workload, scale, seed, oracle_estimates),
+        policy=policy,
+        warmup=warmup,
+    )
+    return ParallelExecutor(workers=1).run([request])[0]
 
 
 @dataclass
@@ -268,6 +275,7 @@ def compare_policies(
     workload_config: WorkloadConfig,
     scale: Optional[ExperimentScale] = None,
     warmup: bool = True,
+    workers: Optional[int] = None,
 ) -> ComparisonResult:
     """Run the named policies over one workload and collect their results.
 
@@ -275,54 +283,52 @@ def compare_policies(
     straggler draws (the straggler model keys durations on the job, task and
     copy index, not on the policy's decisions), so differences are entirely
     due to scheduling.
+
+    ``workers`` fans the independent (policy, seed) simulations out over
+    that many processes (0 = auto, default = ``scale.workers``).  Each run is
+    explicitly seeded and the merge happens in a fixed (policy, seed) order,
+    so the result is byte-identical to the serial path.
     """
     scale = scale or ExperimentScale()
-    generator_config = WorkloadConfig(
-        workload=workload_config.workload,
-        framework=workload_config.framework,
+    if workers is None:
+        workers = scale.workers
+    generator_config = replace(
+        workload_config,
         num_jobs=scale.num_jobs,
-        bound_kind=workload_config.bound_kind,
-        deadline_slack_range=workload_config.deadline_slack_range,
-        error_range=workload_config.error_range,
-        dag_length=workload_config.dag_length,
-        intermediate_task_fraction=workload_config.intermediate_task_fraction,
         size_scale=scale.size_scale,
         max_tasks_per_job=scale.max_tasks_per_job,
-        arrival_mode=workload_config.arrival_mode,
-        seed=workload_config.seed,
     )
     workload = generate_workload(generator_config)
     warmup_workload: Optional[GeneratedWorkload] = None
     if warmup and scale.warmup_jobs > 0:
-        warmup_config = WorkloadConfig(
-            workload=generator_config.workload,
-            framework=generator_config.framework,
+        warmup_config = replace(
+            generator_config,
             num_jobs=scale.warmup_jobs,
-            bound_kind=generator_config.bound_kind,
-            deadline_slack_range=generator_config.deadline_slack_range,
-            error_range=generator_config.error_range,
-            dag_length=generator_config.dag_length,
-            intermediate_task_fraction=generator_config.intermediate_task_fraction,
-            size_scale=generator_config.size_scale,
-            max_tasks_per_job=generator_config.max_tasks_per_job,
-            arrival_mode=generator_config.arrival_mode,
             seed=generator_config.seed + 7919,
         )
         warmup_workload = generate_workload(warmup_config)
 
+    requests = [
+        RunRequest(
+            workload=workload,
+            config=build_simulation_config(
+                workload, scale, seed, needs_oracle_estimates(name)
+            ),
+            policy_name=name,
+            warmup=warmup_workload,
+        )
+        for name in policy_names
+        for seed in scale.seeds
+    ]
+    all_metrics = ParallelExecutor(workers=workers).run(requests)
+
     comparison = ComparisonResult(workload=workload)
+    index = 0
     for name in policy_names:
         run = PolicyRun(policy_name=name)
-        for seed in scale.seeds:
-            policy = make_policy(name)
-            metrics = run_policy(
-                workload,
-                policy,
-                scale,
-                seed=seed,
-                oracle_estimates=needs_oracle_estimates(name),
-                warmup=warmup_workload,
-            )
+        for _seed in scale.seeds:
+            metrics = all_metrics[index]
+            index += 1
             run.results.extend(metrics.results)
             run.metrics.append(metrics)
         comparison.runs[name] = run

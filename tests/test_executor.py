@@ -1,0 +1,148 @@
+"""Tests for the parallel experiment executor.
+
+The load-bearing property is *determinism*: fanning (policy, seed) runs out
+over worker processes must produce byte-identical per-run metrics to the
+serial path, so ``--workers`` is purely a wall-clock knob and never a
+correctness knob.
+"""
+
+import pickle
+
+import pytest
+
+from repro.baselines import NoSpeculationPolicy
+from repro.experiments.executor import (
+    ParallelExecutor,
+    RunRequest,
+    default_worker_count,
+)
+from repro.experiments.runner import (
+    ExperimentScale,
+    build_simulation_config,
+    compare_policies,
+)
+from repro.workload.synthetic import WorkloadConfig, generate_workload
+
+TINY = ExperimentScale(
+    num_jobs=8, size_scale=0.1, max_tasks_per_job=60, num_machines=40,
+    seeds=(1, 2), warmup_jobs=4,
+)
+
+
+def _tiny_workload(seed: int = 42):
+    return generate_workload(
+        WorkloadConfig(
+            num_jobs=TINY.num_jobs,
+            size_scale=TINY.size_scale,
+            max_tasks_per_job=TINY.max_tasks_per_job,
+            seed=seed,
+        )
+    )
+
+
+class TestRunRequest:
+    def test_requires_exactly_one_policy_source(self):
+        workload = _tiny_workload()
+        config = build_simulation_config(workload, TINY, seed=1, oracle_estimates=False)
+        with pytest.raises(ValueError):
+            RunRequest(workload=workload, config=config)
+        with pytest.raises(ValueError):
+            RunRequest(
+                workload=workload,
+                config=config,
+                policy_name="late",
+                policy=NoSpeculationPolicy(),
+            )
+
+    def test_instance_requests_are_not_parallel_safe(self):
+        workload = _tiny_workload()
+        config = build_simulation_config(workload, TINY, seed=1, oracle_estimates=False)
+        named = RunRequest(workload=workload, config=config, policy_name="late")
+        pinned = RunRequest(workload=workload, config=config, policy=NoSpeculationPolicy())
+        assert named.parallel_safe
+        assert not pinned.parallel_safe
+
+    def test_execute_returns_metrics(self):
+        workload = _tiny_workload()
+        config = build_simulation_config(workload, TINY, seed=1, oracle_estimates=False)
+        metrics = RunRequest(workload=workload, config=config, policy_name="late").execute()
+        assert len(metrics.results) == TINY.num_jobs
+
+
+class TestParallelExecutor:
+    def test_rejects_negative_workers(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(workers=-1)
+
+    def test_zero_workers_auto_sizes(self):
+        assert ParallelExecutor(workers=0).workers == default_worker_count()
+        assert default_worker_count() >= 1
+
+    def test_empty_batch(self):
+        assert ParallelExecutor(workers=4).run([]) == []
+
+    def test_mixed_batch_runs_pinned_requests_in_process(self):
+        # A batch mixing named (parallel-safe) and instance (pinned)
+        # requests must still return everything, in order, with the same
+        # bytes as the fully serial path.
+        workload = _tiny_workload()
+        config = build_simulation_config(workload, TINY, seed=1, oracle_estimates=False)
+        requests = [
+            RunRequest(workload=workload, config=config, policy_name="late"),
+            RunRequest(workload=workload, config=config, policy=NoSpeculationPolicy()),
+            RunRequest(workload=workload, config=config, policy_name="no-spec"),
+        ]
+        serial = ParallelExecutor(workers=1).run(requests)
+        mixed = ParallelExecutor(workers=4).run(requests)
+        assert len(mixed) == 3
+        for serial_metrics, mixed_metrics in zip(serial, mixed):
+            assert pickle.dumps(serial_metrics) == pickle.dumps(mixed_metrics)
+
+    def test_results_come_back_in_request_order(self):
+        workload = _tiny_workload()
+        requests = [
+            RunRequest(
+                workload=workload,
+                config=build_simulation_config(workload, TINY, seed, False),
+                policy_name=name,
+            )
+            for name in ("late", "no-spec")
+            for seed in (1, 2)
+        ]
+        serial = ParallelExecutor(workers=1).run(requests)
+        parallel = ParallelExecutor(workers=4).run(requests)
+        assert len(serial) == len(parallel) == 4
+        for serial_metrics, parallel_metrics in zip(serial, parallel):
+            assert pickle.dumps(serial_metrics) == pickle.dumps(parallel_metrics)
+
+
+class TestCompareDeterminism:
+    def test_workers_produce_byte_identical_runs(self):
+        """compare_policies(workers=4) == compare_policies(workers=1), byte for byte.
+
+        Each (policy, seed) run's MetricsCollector — per-job results included
+        — must pickle to the same bytes whether it executed serially or in a
+        worker process.
+        """
+        config = WorkloadConfig(bound_kind="mixed", seed=42)
+        serial = compare_policies(["late", "gs"], config, scale=TINY, workers=1)
+        parallel = compare_policies(["late", "gs"], config, scale=TINY, workers=4)
+        assert set(serial.runs) == set(parallel.runs)
+        for name in serial.runs:
+            serial_run = serial.runs[name]
+            parallel_run = parallel.runs[name]
+            assert len(serial_run.metrics) == len(TINY.seeds)
+            for ms, mp in zip(serial_run.metrics, parallel_run.metrics):
+                assert pickle.dumps(ms) == pickle.dumps(mp)
+            assert serial_run.results == parallel_run.results
+
+    def test_scale_workers_is_the_default(self):
+        from dataclasses import replace
+
+        config = WorkloadConfig(bound_kind="error", seed=9)
+        scaled = replace(TINY, workers=4)
+        via_scale = compare_policies(["late"], config, scale=scaled)
+        via_arg = compare_policies(["late"], config, scale=TINY, workers=4)
+        serial = compare_policies(["late"], config, scale=TINY)
+        assert via_scale.runs["late"].results == serial.runs["late"].results
+        assert via_arg.runs["late"].results == serial.runs["late"].results
