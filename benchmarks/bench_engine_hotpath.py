@@ -1,0 +1,63 @@
+"""Micro-benchmark: raw discrete-event engine throughput (events/second).
+
+Unlike the figure benches, this one bypasses the experiment harness and
+times ``Simulation.run()`` directly, so regressions in the engine hot path
+(event dispatch, allocation recompute, snapshot construction) are visible
+without any workload-generation or aggregation noise.  The measured
+events/second lands in ``BENCH_engine.json`` alongside the per-figure wall
+times.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import bench_scale, bench_scale_name, record_benchmark
+from repro.experiments.policies import make_policy
+from repro.experiments.runner import build_simulation_config
+from repro.simulator.engine import Simulation
+from repro.workload.synthetic import WorkloadConfig, generate_workload
+
+#: One cheap greedy policy and the full learning policy: together they cover
+#: the speculative-copy churn (kills, cancellations) and the estimator path.
+POLICIES = ("gs", "grass")
+
+
+def _build_workload_and_config(scale):
+    config = WorkloadConfig(
+        num_jobs=scale.num_jobs,
+        size_scale=scale.size_scale,
+        max_tasks_per_job=scale.max_tasks_per_job,
+        seed=7,
+    )
+    workload = generate_workload(config)
+    return workload, build_simulation_config(workload, scale, seed=1, oracle_estimates=False)
+
+
+@pytest.mark.parametrize("policy_name", POLICIES)
+def test_engine_hotpath_events_per_second(benchmark, policy_name):
+    scale = bench_scale()
+    workload, sim_config = _build_workload_and_config(scale)
+
+    def run_once():
+        simulation = Simulation(sim_config, make_policy(policy_name), workload.specs())
+        started = time.perf_counter()
+        simulation.run()
+        elapsed = time.perf_counter() - started
+        return simulation.events_processed, elapsed
+
+    events, elapsed = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    events_per_second = events / elapsed if elapsed > 0 else float("inf")
+    record_benchmark(
+        "engine_hotpath",
+        policy_name,
+        events=events,
+        wall_time_seconds=round(elapsed, 4),
+        events_per_second=round(events_per_second, 1),
+        scale=bench_scale_name(),
+    )
+    print(f"\n{policy_name}: {events} events in {elapsed:.2f}s "
+          f"-> {events_per_second:,.0f} events/s")
+    assert events > 0

@@ -4,14 +4,31 @@ Each ``bench_*.py`` file regenerates one table or figure of the paper via
 :mod:`repro.experiments.figures`.  The pytest-benchmark fixture measures the
 wall-clock cost of regenerating it (one round — these are experiments, not
 micro-benchmarks), and the resulting rows are printed so a benchmark run
-doubles as a reproduction run.  ``GRASS_BENCH_SCALE`` selects the experiment
-scale: ``quick`` (default, minutes for the whole suite), ``default`` or
-``paper``.
+doubles as a reproduction run.
+
+Environment knobs:
+
+* ``GRASS_BENCH_SCALE`` — experiment scale: ``quick`` (default, minutes for
+  the whole suite), ``default`` or ``paper``.
+* ``GRASS_BENCH_WORKERS`` — worker processes for the (policy, seed) fan-out
+  inside each figure (``1`` = serial, ``0`` = auto-size to the machine).
+  Results are deterministic for any value.
+
+Every run also appends machine-readable records (wall time per figure,
+events/second from the engine micro-benchmark) and writes them to
+``BENCH_engine.json`` next to this file, so the perf trajectory is tracked
+across PRs.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List
 
 import pytest
 
@@ -24,18 +41,65 @@ _SCALES = {
     "paper": ExperimentScale.paper,
 }
 
+_BENCH_JSON_PATH = Path(__file__).parent / "BENCH_engine.json"
+
+#: Machine-readable benchmark records accumulated over the session.
+_RECORDS: List[Dict] = []
+
+
+def bench_scale_name() -> str:
+    """The validated GRASS_BENCH_SCALE name (also recorded in the JSON)."""
+    name = os.environ.get("GRASS_BENCH_SCALE", "quick")
+    if name not in _SCALES:
+        raise pytest.UsageError(
+            f"GRASS_BENCH_SCALE must be one of {sorted(_SCALES)}, got {name!r}"
+        )
+    return name
+
 
 def bench_scale() -> ExperimentScale:
     """The experiment scale benchmarks run at (env: GRASS_BENCH_SCALE)."""
-    name = os.environ.get("GRASS_BENCH_SCALE", "quick")
-    return _SCALES.get(name, ExperimentScale.quick)()
+    scale = _SCALES[bench_scale_name()]()
+    raw_workers = os.environ.get("GRASS_BENCH_WORKERS", "1")
+    try:
+        workers = int(raw_workers)
+    except ValueError:
+        raise pytest.UsageError(
+            f"GRASS_BENCH_WORKERS must be an integer >= 0, got {raw_workers!r}"
+        ) from None
+    if workers < 0:
+        raise pytest.UsageError(
+            f"GRASS_BENCH_WORKERS must be >= 0 (0 means auto), got {workers}"
+        )
+    return replace(scale, workers=workers)
+
+
+def record_benchmark(kind: str, name: str, **fields) -> None:
+    """Append one machine-readable record destined for BENCH_engine.json."""
+    _RECORDS.append({"kind": kind, "name": name, **fields})
 
 
 def regenerate(benchmark, figure_name: str) -> FigureResult:
     """Regenerate one figure under the benchmark fixture and print its table."""
     scale = bench_scale()
+    started = time.perf_counter()
     result = benchmark.pedantic(
         run_figure, args=(figure_name, scale), rounds=1, iterations=1
+    )
+    fallback = time.perf_counter() - started
+    try:
+        # pytest-benchmark's own measurement of the (single) round, without
+        # the pedantic harness overhead; fall back to our timer if the
+        # fixture ran with benchmarking disabled.
+        wall_time = benchmark.stats.stats.total
+    except AttributeError:
+        wall_time = fallback
+    record_benchmark(
+        "figure",
+        figure_name,
+        wall_time_seconds=round(wall_time, 3),
+        scale=bench_scale_name(),
+        workers=scale.workers,
     )
     print()
     print(result.format_table())
@@ -45,3 +109,55 @@ def regenerate(benchmark, figure_name: str) -> FigureResult:
 @pytest.fixture
 def scale() -> ExperimentScale:
     return bench_scale()
+
+
+def record_key_str(record: Dict) -> tuple:
+    """String-ified identity key, used to sort records stably in the JSON."""
+    return tuple(
+        str(record.get(field)) for field in ("kind", "name", "scale", "workers")
+    )
+
+
+def _all_records() -> List[Dict]:
+    """Records from this module *and* its importable twin, if any.
+
+    pytest loads ``conftest.py`` as its own plugin module while the bench
+    files import ``benchmarks.conftest`` by package path; both module objects
+    can coexist, each with its own ``_RECORDS`` list.  The session hook runs
+    on the plugin instance, so it merges the twin's records explicitly.
+    """
+    records = list(_RECORDS)
+    twin = sys.modules.get("benchmarks.conftest")
+    if twin is not None and getattr(twin, "_RECORDS", _RECORDS) is not _RECORDS:
+        records.extend(twin._RECORDS)
+    return records
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    """Merge this session's records into BENCH_engine.json.
+
+    Records are keyed by ``(kind, name, scale, workers)``: a partial bench
+    run (e.g. ``make bench-smoke``) refreshes only the entries it
+    re-measured — at its own scale — and leaves the rest of the tracked
+    trajectory intact.
+    """
+
+    records = _all_records()
+    if not records:
+        return
+    merged: Dict[tuple, Dict] = {}
+    if _BENCH_JSON_PATH.exists():
+        try:
+            previous = json.loads(_BENCH_JSON_PATH.read_text())
+            for record in previous.get("records", []):
+                merged[record_key_str(record)] = record
+        except (ValueError, OSError):
+            pass  # unreadable history: start over rather than crash the run
+    for record in records:
+        merged[record_key_str(record)] = record
+    payload = {
+        "schema": 1,
+        "unix_time": int(time.time()),
+        "records": sorted(merged.values(), key=record_key_str),
+    }
+    _BENCH_JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -170,6 +170,28 @@ class TestCli:
         assert args.figure == "figure3"
         assert args.scale == "quick"
 
+    def test_parser_defaults_to_serial_single_run(self):
+        args = build_parser().parse_args(["figure3"])
+        assert args.workers == 1
+        assert args.repeat == 1
+
+    def test_parser_accepts_workers_and_repeat(self):
+        args = build_parser().parse_args(
+            ["figure3", "--workers", "4", "--repeat", "3"]
+        )
+        assert args.workers == 4
+        assert args.repeat == 3
+
+    def test_main_rejects_bad_workers_and_repeat(self):
+        assert main(["figure1", "--workers", "-1"]) == 2
+        assert main(["figure1", "--repeat", "0"]) == 2
+
+    def test_main_repeat_reports_each_run(self, capsys):
+        exit_code = main(["figure1", "--scale", "quick", "--repeat", "2"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "regenerated 2x" in captured.out
+
     def test_parser_rejects_unknown_figure(self):
         parser = build_parser()
         with pytest.raises(SystemExit):
