@@ -1,0 +1,16 @@
+# Convenience targets; the logic lives in scripts/check.sh so CI and
+# humans run exactly the same commands.
+
+.PHONY: test bench-smoke lint check
+
+test:
+	./scripts/check.sh test
+
+bench-smoke:
+	./scripts/check.sh bench-smoke
+
+lint:
+	./scripts/check.sh lint
+
+check:
+	./scripts/check.sh all

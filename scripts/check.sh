@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Repo check harness: ./scripts/check.sh [test|bench-smoke|lint|all]
+#
+# * test        — the tier-1 suite (PYTHONPATH=src python -m pytest -x -q)
+# * bench-smoke — the engine hot-path micro-benchmark plus one cheap figure
+#                 bench at quick scale; refreshes benchmarks/BENCH_engine.json
+# * lint        — ruff or flake8 when installed, otherwise a byte-compile
+#                 pass over src/tests/benchmarks (the container ships no
+#                 linter; do NOT pip install one here)
+# * all         — everything above, in order
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+run_test() {
+    python -m pytest -x -q
+}
+
+run_bench_smoke() {
+    GRASS_BENCH_SCALE=quick python -m pytest -q \
+        benchmarks/bench_engine_hotpath.py \
+        benchmarks/bench_fig1_deadline_example.py
+    echo "bench records written to benchmarks/BENCH_engine.json"
+}
+
+run_lint() {
+    if command -v ruff >/dev/null 2>&1; then
+        ruff check src tests benchmarks
+    elif command -v flake8 >/dev/null 2>&1; then
+        flake8 --max-line-length=100 src tests benchmarks
+    else
+        echo "no linter installed; falling back to byte-compilation"
+        python -m compileall -q src tests benchmarks
+    fi
+}
+
+case "${1:-all}" in
+    test) run_test ;;
+    bench-smoke) run_bench_smoke ;;
+    lint) run_lint ;;
+    all) run_lint; run_test; run_bench_smoke ;;
+    *)
+        echo "usage: $0 [test|bench-smoke|lint|all]" >&2
+        exit 2
+        ;;
+esac
