@@ -1,13 +1,16 @@
 # Convenience targets; the logic lives in scripts/check.sh so CI and
 # humans run exactly the same commands.
 
-.PHONY: test bench-smoke lint check
+.PHONY: test bench-smoke bench-gate lint check
 
 test:
 	./scripts/check.sh test
 
 bench-smoke:
 	./scripts/check.sh bench-smoke
+
+bench-gate:
+	./scripts/check.sh bench-gate
 
 lint:
 	./scripts/check.sh lint

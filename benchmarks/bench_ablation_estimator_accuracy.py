@@ -7,8 +7,6 @@ and reports the error-bound speedup over LATE for each, showing how much of
 the gain survives bad estimates.
 """
 
-import pytest
-
 from benchmarks.conftest import bench_scale
 from repro.core.estimators import EstimatorConfig
 from repro.core.policies import ResourceAwareSpeculative

@@ -10,11 +10,9 @@ times.
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
-from benchmarks.conftest import bench_scale, bench_scale_name, record_benchmark
+from benchmarks.conftest import bench_scale, run_throughput_bench
 from repro.experiments.policies import make_policy
 from repro.experiments.runner import build_simulation_config
 from repro.simulator.engine import Simulation
@@ -40,24 +38,9 @@ def _build_workload_and_config(scale):
 def test_engine_hotpath_events_per_second(benchmark, policy_name):
     scale = bench_scale()
     workload, sim_config = _build_workload_and_config(scale)
-
-    def run_once():
-        simulation = Simulation(sim_config, make_policy(policy_name), workload.specs())
-        started = time.perf_counter()
-        simulation.run()
-        elapsed = time.perf_counter() - started
-        return simulation.events_processed, elapsed
-
-    events, elapsed = benchmark.pedantic(run_once, rounds=1, iterations=1)
-    events_per_second = events / elapsed if elapsed > 0 else float("inf")
-    record_benchmark(
+    run_throughput_bench(
+        benchmark,
         "engine_hotpath",
         policy_name,
-        events=events,
-        wall_time_seconds=round(elapsed, 4),
-        events_per_second=round(events_per_second, 1),
-        scale=bench_scale_name(),
+        lambda: Simulation(sim_config, make_policy(policy_name), workload.specs()),
     )
-    print(f"\n{policy_name}: {events} events in {elapsed:.2f}s "
-          f"-> {events_per_second:,.0f} events/s")
-    assert events > 0

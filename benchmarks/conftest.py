@@ -74,9 +74,79 @@ def bench_scale() -> ExperimentScale:
     return replace(scale, workers=workers)
 
 
+def bench_rounds() -> int:
+    """Rounds for the throughput micro-benchmarks (best-of is recorded).
+
+    Quick-scale runs last ~0.1s, where scheduler noise alone can swing
+    events/second by ±25% — too close to the bench-gate's 30% regression
+    threshold.  Three rounds with best-of selection keeps the gate honest
+    without slowing the default/paper scales, whose runs are long enough to
+    self-average.
+    """
+    return 3 if bench_scale_name() == "quick" else 1
+
+
 def record_benchmark(kind: str, name: str, **fields) -> None:
     """Append one machine-readable record destined for BENCH_engine.json."""
     _RECORDS.append({"kind": kind, "name": name, **fields})
+
+
+def run_throughput_bench(benchmark, kind: str, name: str, make_simulation):
+    """Time ``Simulation.run()`` best-of ``bench_rounds()`` and record it.
+
+    Shared by the throughput micro-benchmarks (engine hot path, trace
+    replay) so both record kinds are measured identically.  ``make_simulation``
+    builds a fresh ``Simulation`` per round; the best events/second across
+    rounds is recorded, because the number feeds the bench-gate regression
+    check and should reflect capability, not scheduler noise.
+    """
+    timings: List[tuple] = []
+
+    def run_once():
+        simulation = make_simulation()
+        started = time.perf_counter()
+        simulation.run()
+        elapsed = time.perf_counter() - started
+        timings.append((simulation.events_processed, elapsed))
+        return simulation.events_processed, elapsed
+
+    benchmark.pedantic(run_once, rounds=bench_rounds(), iterations=1)
+    events, elapsed = min(timings, key=lambda pair: pair[1] / max(pair[0], 1))
+    events_per_second = events / elapsed if elapsed > 0 else float("inf")
+    record_benchmark(
+        kind,
+        name,
+        events=events,
+        wall_time_seconds=round(elapsed, 4),
+        events_per_second=round(events_per_second, 1),
+        scale=bench_scale_name(),
+    )
+    print(f"\n{kind}/{name}: {events} events in {elapsed:.2f}s "
+          f"-> {events_per_second:,.0f} events/s")
+    assert events > 0
+    return events, elapsed
+
+
+def calibration_score() -> float:
+    """Machine-speed proxy: best iterations/second of a fixed Python loop.
+
+    Stored at the top level of BENCH_engine.json so ``bench_compare.py`` can
+    normalise events/second across machines (a CI runner and a laptop differ
+    far more than the regression threshold).  The loop is pure-Python integer
+    arithmetic — the same kind of work the simulator's hot path does — and
+    best-of-3 keeps it stable at ~50ms total.
+    """
+    iterations = 200_000
+    best = 0.0
+    for _ in range(3):
+        started = time.perf_counter()
+        acc = 0
+        for i in range(iterations):
+            acc += i * i % 7
+        elapsed = time.perf_counter() - started
+        if elapsed > 0:
+            best = max(best, iterations / elapsed)
+    return round(best, 1)
 
 
 def regenerate(benchmark, figure_name: str) -> FigureResult:
@@ -158,6 +228,7 @@ def pytest_sessionfinish(session, exitstatus) -> None:
     payload = {
         "schema": 1,
         "unix_time": int(time.time()),
+        "calibration_ops_per_second": calibration_score(),
         "records": sorted(merged.values(), key=record_key_str),
     }
     _BENCH_JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")

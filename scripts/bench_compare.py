@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate: diff fresh bench records against committed history.
+
+``scripts/check.sh bench-gate`` snapshots the committed
+``benchmarks/BENCH_engine.json``, reruns the smoke benchmarks (which refresh
+the file in place), and calls this script to compare the two.  The gate
+fails when any throughput record (``events_per_second`` — the engine
+hot-path and trace-replay benches) regresses by more than the allowed
+fraction at the compared scale.
+
+Cross-machine comparisons (a committed laptop baseline vs a CI runner) are
+normalised by each payload's ``calibration_ops_per_second`` — a fixed
+pure-Python loop timed at bench time — so a slower machine is not mistaken
+for a code regression.  Payloads without the field compare unnormalised.
+
+Wall-time records are reported for context but never gate: figure wall
+times at quick scale are noisy single-round measurements, while
+events/second (calibration-normalised) factors out most machine variation.
+
+Exit codes: 0 = no regression, 1 = regression past the threshold,
+2 = usage / unreadable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: Identity of one tracked record within a BENCH_engine.json payload.
+Key = Tuple[str, str, str, str]
+
+
+def record_key(record: Dict) -> Key:
+    return tuple(
+        str(record.get(field)) for field in ("kind", "name", "scale", "workers")
+    )
+
+
+def usage_error(message: str) -> "SystemExit":
+    print(message, file=sys.stderr)
+    return SystemExit(2)
+
+
+def load_payload(path: Path) -> Tuple[Dict[Key, Dict], float]:
+    """Read one BENCH_engine.json: (records by key, calibration score).
+
+    The calibration score (machine-speed proxy recorded by
+    ``benchmarks/conftest.py``) is 0.0 when absent — payloads written before
+    the field existed compare unnormalised.
+    """
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise usage_error(f"bench-compare: cannot read {path}: {exc}")
+    except ValueError as exc:
+        raise usage_error(f"bench-compare: {path} is not valid JSON: {exc}")
+    records = payload.get("records")
+    if not isinstance(records, list):
+        raise usage_error(f"bench-compare: {path} has no 'records' list")
+    calibration = payload.get("calibration_ops_per_second")
+    if not isinstance(calibration, (int, float)) or calibration <= 0:
+        calibration = 0.0
+    return (
+        {record_key(record): record for record in records if isinstance(record, dict)},
+        float(calibration),
+    )
+
+
+def compare(
+    baseline: Dict[Key, Dict],
+    candidate: Dict[Key, Dict],
+    max_regression: float,
+    scale: Optional[str],
+    speed_ratio: float = 1.0,
+) -> Tuple[List[str], List[str]]:
+    """Return (report lines, failure lines) for the throughput comparison.
+
+    ``speed_ratio`` is candidate-machine speed over baseline-machine speed
+    (from the payloads' calibration scores); baseline numbers are scaled by
+    it so a slower CI runner is not mistaken for a code regression.
+    """
+    lines: List[str] = []
+    failures: List[str] = []
+    compared = 0
+    for key in sorted(baseline):
+        old = baseline[key]
+        new = candidate.get(key)
+        old_eps = old.get("events_per_second")
+        if old_eps is None or not isinstance(old_eps, (int, float)) or old_eps <= 0:
+            continue
+        if scale is not None and old.get("scale") != scale:
+            continue
+        label = "/".join(part for part in key if part != "None")
+        if new is None:
+            # A gated record that vanished is a failure, not a skip —
+            # otherwise deleting a regressing benchmark defeats the gate.
+            failures.append(
+                f"  {label}: gated baseline record missing from candidate "
+                "(benchmark removed or renamed?)"
+            )
+            lines.append(f"  {label}: missing from candidate — FAILED")
+            continue
+        new_eps = new.get("events_per_second")
+        if not isinstance(new_eps, (int, float)) or new_eps <= 0:
+            failures.append(f"  {label}: candidate record lost events_per_second")
+            continue
+        compared += 1
+        expected_eps = old_eps * speed_ratio
+        change = (new_eps - expected_eps) / expected_eps
+        verdict = "ok"
+        if change < -max_regression:
+            verdict = f"REGRESSION (limit -{max_regression:.0%})"
+            failures.append(
+                f"  {label}: expected {expected_eps:,.0f}, got {new_eps:,.0f} "
+                f"events/s ({change:+.1%}, limit -{max_regression:.0%})"
+            )
+        lines.append(
+            f"  {label}: {old_eps:,.0f} -> {new_eps:,.0f} events/s "
+            f"({change:+.1%} vs expected) {verdict}"
+        )
+    if compared == 0:
+        lines.append(
+            "  no overlapping events/second records at the compared scale; "
+            "nothing to gate"
+        )
+    return lines, failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when fresh bench records regress past a threshold."
+    )
+    parser.add_argument(
+        "--baseline", required=True, type=Path,
+        help="committed BENCH_engine.json snapshot to compare against",
+    )
+    parser.add_argument(
+        "--candidate", required=True, type=Path,
+        help="freshly regenerated BENCH_engine.json",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.30, metavar="FRACTION",
+        help="allowed events/second drop as a fraction (default 0.30)",
+    )
+    parser.add_argument(
+        "--scale", default="quick",
+        help="only gate records measured at this scale (default quick; "
+        "pass 'any' to gate every scale)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 < args.max_regression < 1.0:
+        parser.error("--max-regression must lie in (0, 1)")
+    scale = None if args.scale == "any" else args.scale
+
+    baseline, baseline_cal = load_payload(args.baseline)
+    candidate, candidate_cal = load_payload(args.candidate)
+    speed_ratio = 1.0
+    if baseline_cal > 0 and candidate_cal > 0:
+        speed_ratio = candidate_cal / baseline_cal
+    lines, failures = compare(
+        baseline, candidate, args.max_regression, scale, speed_ratio
+    )
+    print(f"bench-compare: {args.baseline} vs {args.candidate} "
+          f"(scale={args.scale}, limit -{args.max_regression:.0%}, "
+          f"machine speed ratio {speed_ratio:.2f})")
+    for line in lines:
+        print(line)
+    if failures:
+        print("bench-compare: FAILED — events/second regressed:")
+        for line in failures:
+            print(line)
+        return 1
+    print("bench-compare: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

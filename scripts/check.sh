@@ -1,17 +1,25 @@
 #!/usr/bin/env bash
-# Repo check harness: ./scripts/check.sh [test|bench-smoke|lint|all]
+# Repo check harness: ./scripts/check.sh [test|bench-smoke|bench-gate|lint|all]
 #
 # * test        — the tier-1 suite (PYTHONPATH=src python -m pytest -x -q)
-# * bench-smoke — the engine hot-path micro-benchmark plus one cheap figure
-#                 bench at quick scale; refreshes benchmarks/BENCH_engine.json
+# * bench-smoke — the engine hot-path and trace-replay micro-benchmarks plus
+#                 one cheap figure bench at quick scale; refreshes
+#                 benchmarks/BENCH_engine.json and fails if the refresh
+#                 produced an unreadable file
+# * bench-gate  — takes the committed BENCH_engine.json (git show HEAD:...)
+#                 as baseline, reruns bench-smoke, and fails on a >30%
+#                 calibration-normalised events/second regression at quick
+#                 scale (scripts/bench_compare.py)
 # * lint        — ruff or flake8 when installed, otherwise a byte-compile
-#                 pass over src/tests/benchmarks (the container ships no
-#                 linter; do NOT pip install one here)
-# * all         — everything above, in order
+#                 pass over src/tests/benchmarks/scripts/examples (the
+#                 container ships no linter; do NOT pip install one here)
+# * all         — lint, test, bench-smoke, in order
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+BENCH_JSON="benchmarks/BENCH_engine.json"
 
 run_test() {
     python -m pytest -x -q
@@ -20,28 +28,66 @@ run_test() {
 run_bench_smoke() {
     GRASS_BENCH_SCALE=quick python -m pytest -q \
         benchmarks/bench_engine_hotpath.py \
-        benchmarks/bench_fig1_deadline_example.py
-    echo "bench records written to benchmarks/BENCH_engine.json"
+        benchmarks/bench_trace_replay.py \
+        benchmarks/bench_fig1_deadline_example.py \
+        || return $?
+    # The JSON merge happens in a pytest sessionfinish hook whose failure
+    # does not change the pytest exit code; verify the artifact explicitly
+    # instead of masking a broken merge behind a success message.
+    python -c "
+import json, sys
+payload = json.load(open('$BENCH_JSON'))
+records = payload.get('records')
+sys.exit(0 if isinstance(records, list) and records else 'empty $BENCH_JSON')
+" || return $?
+    echo "bench records written to $BENCH_JSON"
+}
+
+run_bench_gate() {
+    local baseline
+    baseline="$(mktemp)"
+    # Gate against the *committed* trajectory so repeated local runs cannot
+    # ratchet the baseline past the threshold; fall back to the working-tree
+    # file when the history is unavailable (fresh checkout, no git).
+    if ! git show "HEAD:$BENCH_JSON" > "$baseline" 2>/dev/null; then
+        if [ ! -f "$BENCH_JSON" ]; then
+            echo "bench-gate: no $BENCH_JSON baseline; run bench-smoke first" >&2
+            rm -f "$baseline"
+            return 1
+        fi
+        cp "$BENCH_JSON" "$baseline"
+    fi
+    local status=0
+    if run_bench_smoke; then
+        python scripts/bench_compare.py \
+            --baseline "$baseline" --candidate "$BENCH_JSON" \
+            --max-regression 0.30 --scale quick || status=$?
+    else
+        status=$?
+    fi
+    rm -f "$baseline"
+    return "$status"
 }
 
 run_lint() {
     if command -v ruff >/dev/null 2>&1; then
-        ruff check src tests benchmarks
+        ruff check src tests benchmarks scripts examples
     elif command -v flake8 >/dev/null 2>&1; then
-        flake8 --max-line-length=100 src tests benchmarks
+        flake8 --max-line-length=100 src tests benchmarks scripts examples
     else
         echo "no linter installed; falling back to byte-compilation"
-        python -m compileall -q src tests benchmarks
+        python -m compileall -q src tests benchmarks scripts examples
     fi
 }
 
 case "${1:-all}" in
     test) run_test ;;
     bench-smoke) run_bench_smoke ;;
+    bench-gate) run_bench_gate ;;
     lint) run_lint ;;
     all) run_lint; run_test; run_bench_smoke ;;
     *)
-        echo "usage: $0 [test|bench-smoke|lint|all]" >&2
+        echo "usage: $0 [test|bench-smoke|bench-gate|lint|all]" >&2
         exit 2
         ;;
 esac

@@ -11,11 +11,11 @@ phases only start once the required input tasks are done.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.bounds import ApproximationBound
-from repro.core.task import Task, TaskObserver, TaskSpec, TaskState
+from repro.core.task import Task, TaskObserver, TaskSpec
 
 
 @dataclass(frozen=True)

@@ -11,8 +11,8 @@ baseline is given those, via a separate view builder.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.core.bounds import ApproximationBound
 from repro.core.job import Job, JobResult

@@ -1,4 +1,4 @@
-"""Command-line entry point: ``grass-experiments <figure> [options]``.
+"""Command-line entry point: ``grass-experiments <figure>|replay [options]``.
 
 Examples::
 
@@ -6,28 +6,44 @@ Examples::
     grass-experiments figure7 --scale quick
     grass-experiments all --scale default --workers 0
     grass-experiments figure5 --repeat 3
+    grass-experiments replay --trace traces/facebook_like.jsonl --policy grass
+    grass-experiments replay --trace t.jsonl --workers 4 --shards 8
 
-The output is the text table the corresponding :mod:`repro.experiments.figures`
-function produces; EXPERIMENTS.md records one full run.
+The figure verbs print the text table the corresponding
+:mod:`repro.experiments.figures` function produces; EXPERIMENTS.md records
+one full run.  The ``replay`` verb feeds a JSONL trace (schema documented in
+``repro.workload.traces``) through the engine under one or more policies and
+prints per-policy metrics plus a digest of the merged results.
 
-``--workers N`` fans the independent (policy, seed) simulations inside each
-figure out over N worker processes (``0`` auto-sizes to the machine, ``1`` —
-the default — stays serial).  The merge is deterministic, so the tables are
-identical for any worker count.  ``--repeat K`` regenerates each figure K
-times and reports per-repeat wall times — useful for benchmarking the
-harness itself.
+``--workers N`` fans the independent simulations out over N worker processes
+(``0`` auto-sizes to the machine, ``1`` — the default — stays serial).  The
+merge is deterministic, so tables and digests are identical for any worker
+count.  ``--repeat K`` regenerates each figure K times and reports
+per-repeat wall times — useful for benchmarking the harness itself.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
+import json
 import sys
 import time
 from dataclasses import replace
 from typing import List, Optional
 
 from repro.experiments.figures import FIGURES, run_figure
-from repro.experiments.runner import ExperimentScale
+from repro.experiments.policies import available_policies
+from repro.experiments.runner import ComparisonResult, ExperimentScale, replay
+from repro.workload.profiles import available_frameworks
+from repro.workload.synthetic import (
+    BOUND_DEADLINE,
+    BOUND_ERROR,
+    BOUND_EXACT,
+    BOUND_MIXED,
+)
+from repro.workload.trace_replay import TraceReplayConfig
+from repro.workload.traces import TraceFormatError, load_trace
 
 _SCALES = {
     "quick": ExperimentScale.quick,
@@ -39,7 +55,9 @@ _SCALES = {
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="grass-experiments",
-        description="Regenerate the tables and figures of the GRASS paper.",
+        description="Regenerate the tables and figures of the GRASS paper "
+        "(or use the 'replay' verb to feed a JSONL trace through the engine: "
+        "grass-experiments replay --help).",
     )
     parser.add_argument(
         "figure",
@@ -72,7 +90,184 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_replay_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="grass-experiments replay",
+        description="Replay a JSONL trace through the engine under one or "
+        "more speculation policies.",
+    )
+    parser.add_argument(
+        "--trace",
+        required=True,
+        metavar="PATH",
+        help="JSONL trace file (one {job_id, arrival_time, task_durations} "
+        "object per line)",
+    )
+    parser.add_argument(
+        "--policy",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="policy to replay under (repeatable; default: grass and late)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="default",
+        help="cluster scale (machines, seeds); the trace decides the workload",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the (policy, seed, shard) fan-out; "
+        "1 = serial (default), 0 = auto; results are bit-identical for any value",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="K",
+        help="split the trace into K arrival-window shards, each replayed as "
+        "an independent simulation (default 1)",
+    )
+    parser.add_argument(
+        "--framework",
+        default="hadoop",
+        help="execution framework profile: hadoop (default) or spark",
+    )
+    parser.add_argument(
+        "--bound-kind",
+        choices=(BOUND_DEADLINE, BOUND_ERROR, BOUND_EXACT, BOUND_MIXED),
+        default=BOUND_MIXED,
+        help="approximation bounds assigned to replayed jobs (default mixed)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for the per-job bound/slot assignment (default 0)",
+    )
+    return parser
+
+
+def metrics_digest(comparison: ComparisonResult) -> str:
+    """SHA-256 over the merged per-job results, canonically serialised.
+
+    Two replays that produce byte-identical metrics — the determinism
+    contract of ``--workers`` — print the same digest, so shell scripts can
+    compare runs without parsing tables.
+    """
+    payload = [
+        {
+            "policy": name,
+            "results": [
+                {
+                    "job_id": result.job_id,
+                    "accuracy": result.accuracy,
+                    "duration": result.duration,
+                    "completed": result.completed_input_tasks,
+                    "wasted_work": result.wasted_work,
+                    "speculative_copies": result.speculative_copies,
+                    "met_bound": result.met_bound,
+                }
+                for result in run.results
+            ],
+        }
+        for name, run in comparison.runs.items()
+    ]
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def replay_main(argv: List[str]) -> int:
+    args = build_replay_parser().parse_args(argv)
+    if args.workers < 0:
+        print("--workers must be >= 0 (0 means auto)", file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        trace = load_trace(args.trace)
+    except FileNotFoundError:
+        print(f"trace file not found: {args.trace}", file=sys.stderr)
+        return 2
+    except TraceFormatError as exc:
+        print(f"malformed trace: {exc}", file=sys.stderr)
+        return 2
+    if not trace:
+        print(f"trace is empty: {args.trace}", file=sys.stderr)
+        return 2
+
+    policies = args.policy or ["grass", "late"]
+    unknown = [name for name in policies if name not in available_policies()]
+    if unknown:
+        print(
+            f"unknown polic{'ies' if len(unknown) > 1 else 'y'} "
+            f"{', '.join(unknown)}; expected one of {', '.join(available_policies())}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.framework not in available_frameworks():
+        print(
+            f"unknown framework {args.framework!r}; expected one of "
+            f"{', '.join(available_frameworks())}",
+            file=sys.stderr,
+        )
+        return 2
+    scale = replace(_SCALES[args.scale](), workers=args.workers)
+    replay_config = TraceReplayConfig(
+        framework=args.framework, bound_kind=args.bound_kind, seed=args.seed
+    )
+    started = time.time()
+    comparison = replay(
+        policies,
+        trace,
+        replay_config=replay_config,
+        scale=scale,
+        shards=args.shards,
+        workers=args.workers,
+    )
+    elapsed = time.time() - started
+
+    # Accuracy is the paper's metric for deadline-bound jobs and duration the
+    # metric for error-bound jobs; a column shows "-" when the replay assigned
+    # no jobs of that class rather than a misleading 0.  "results" counts one
+    # row per (job, seed, shard) — with several seeds it exceeds the trace's
+    # job count.
+    header = (
+        f"{'policy':<22} | {'results':>7} | {'avg accuracy (deadline)':>23} | "
+        f"{'avg duration (error)':>20} | {'bound met':>9} | {'spec copies':>11}"
+    )
+    print(
+        f"Replayed {args.trace}: {len(trace)} jobs, {args.shards} shard(s), "
+        f"{len(scale.seeds)} seed(s), workers={args.workers}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in policies:
+        run = comparison.runs[name]
+        met = sum(1 for result in run.results if result.met_bound)
+        copies = sum(result.speculative_copies for result in run.results)
+        accuracy = (
+            f"{run.average_accuracy():.4f}" if run.deadline_results() else "-"
+        )
+        duration = f"{run.average_duration():.2f}" if run.error_results() else "-"
+        print(
+            f"{name:<22} | {len(run.results):>7} | {accuracy:>23} | "
+            f"{duration:>20} | {met:>9} | {copies:>11}"
+        )
+    print(f"metrics digest: sha256={metrics_digest(comparison)}")
+    print(f"(replayed in {elapsed:.1f}s)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "replay":
+        return replay_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.workers < 0:
         print("--workers must be >= 0 (0 means auto)", file=sys.stderr)

@@ -23,6 +23,7 @@ from repro.experiments.runner import (
     compare_policies,
     improvement_in_accuracy,
     improvement_in_duration,
+    replay,
     run_policy,
 )
 from repro.model.hill import estimate_tail_index, hill_estimates
@@ -38,6 +39,7 @@ from repro.simulator.engine import Simulation, SimulationConfig
 from repro.simulator.stragglers import StragglerConfig, StragglerModel
 from repro.utils.stats import mean
 from repro.workload.synthetic import WorkloadConfig, generate_workload
+from repro.workload.trace_replay import TraceReplayConfig, synthesize_trace
 from repro.workload.traces import summarize_trace, trace_from_specs
 
 
@@ -696,6 +698,65 @@ def exact_jobs_speedup(scale: Optional[ExperimentScale] = None) -> FigureResult:
     return result
 
 
+# ------------------------------------------------------------- Trace replay validation
+
+
+def trace_vs_synthetic(scale: Optional[ExperimentScale] = None) -> FigureResult:
+    """Replay methodology check: trace-driven vs synthetic GRASS gains.
+
+    The paper evaluates against replayed production traces; this repo's
+    stand-in synthesizes the same mix.  To validate the replay pipeline, the
+    synthetic workload is exported as an observed-duration trace, replayed
+    through :func:`~repro.experiments.runner.replay`, and GRASS's gains over
+    LATE are reported side by side for both sources.  Close agreement means
+    the trace adapter (bound assignment, straggler calibration, wave
+    targeting) reproduces the synthetic methodology — the property that
+    makes user-supplied traces trustworthy inputs.
+    """
+    scale = scale or ExperimentScale()
+    result = FigureResult(
+        figure="Trace replay",
+        description="GRASS vs LATE: synthetic workload vs its trace-driven replay",
+    )
+    policies = ["late", "grass"]
+    for workload in ("facebook", "bing"):
+        synthetic_comparison = compare_policies(
+            policies,
+            WorkloadConfig(workload=workload, framework="hadoop", seed=21),
+            scale=scale,
+            warmup=False,
+        )
+        trace = synthesize_trace(
+            workload=workload,
+            framework="hadoop",
+            num_jobs=scale.num_jobs,
+            size_scale=scale.size_scale,
+            max_tasks_per_job=scale.max_tasks_per_job,
+            seed=21,
+        )
+        replay_comparison = replay(
+            policies,
+            trace,
+            replay_config=TraceReplayConfig(framework="hadoop", seed=21),
+            scale=scale,
+            workers=scale.workers,
+        )
+        for source, comparison in (
+            ("synthetic", synthetic_comparison),
+            ("trace-replay", replay_comparison),
+        ):
+            result.rows.append(
+                {
+                    "workload": workload,
+                    "source": source,
+                    "jobs": len(comparison.runs["grass"].results),
+                    "accuracy gain (%)": comparison.accuracy_improvement("grass", "late"),
+                    "speedup (%)": comparison.duration_improvement("grass", "late"),
+                }
+            )
+    return result
+
+
 #: Registry used by the CLI and the benchmark harness.  Every entry accepts an
 #: optional :class:`ExperimentScale` (ignored by the experiments that do not
 #: involve the cluster simulator, e.g. the worked examples and the analytic
@@ -719,6 +780,7 @@ FIGURES = {
     "figure14": lambda scale=None: figure13_14_factors(scale, bound_kind="error"),
     "figure15": figure15_perturbation,
     "exact": exact_jobs_speedup,
+    "trace-replay": trace_vs_synthetic,
 }
 
 

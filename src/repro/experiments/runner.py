@@ -10,7 +10,7 @@ per error bin.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.bounds import BoundType
 from repro.core.job import JobResult
@@ -22,6 +22,13 @@ from repro.simulator.engine import SimulationConfig
 from repro.simulator.metrics import MetricsCollector
 from repro.workload.bins import deadline_bin_label, error_bin_label
 from repro.workload.synthetic import GeneratedWorkload, WorkloadConfig, generate_workload
+from repro.workload.trace_replay import (
+    TraceReplayConfig,
+    TraceWorkload,
+    slice_trace,
+    trace_to_workload,
+)
+from repro.workload.traces import TraceJob
 from repro.utils.stats import mean
 
 
@@ -268,6 +275,85 @@ class ComparisonResult:
                 self.runs[policy].average_duration(pol),
             )
         return improvements
+
+
+def replay(
+    policy_names: Sequence[str],
+    trace: Sequence[TraceJob],
+    replay_config: Optional[TraceReplayConfig] = None,
+    scale: Optional[ExperimentScale] = None,
+    shards: int = 1,
+    workers: Optional[int] = None,
+) -> ComparisonResult:
+    """Replay a trace under the named policies and collect their results.
+
+    The engine-facing twin of :func:`compare_policies` for trace-driven
+    evaluation (§5/§6 methodology): the trace is adapted into the same
+    ``JobSpec`` stream the synthetic generator emits, split into ``shards``
+    arrival-window shards, and every (policy, seed, shard) triple fans out
+    over the :class:`ParallelExecutor` as an independent simulation.
+
+    Determinism mirrors ``compare_policies``: per-job bounds are seeded from
+    ``(replay_config.seed, job_id)`` alone, every shard replays under the
+    *full* trace's observed straggler severity, requests carry explicit
+    seeds, and the merge happens in fixed (policy, seed, shard) order — so
+    the result is byte-identical for any ``workers`` value.
+
+    ``scale`` contributes the cluster size, seeds and default worker count;
+    its workload-synthesis knobs (``num_jobs``, ``size_scale``, ...) are
+    ignored because the trace decides the workload.
+    """
+    scale = scale or ExperimentScale()
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    if workers is None:
+        workers = scale.workers
+    replay_config = replay_config or TraceReplayConfig()
+
+    full = trace_to_workload(trace, replay_config)
+    if shards == 1:
+        shard_workloads: List[TraceWorkload] = [full]
+    else:
+        shard_traces = slice_trace(trace, shards)
+        shard_workloads = [
+            trace_to_workload(
+                shard,
+                replay_config,
+                shard_index=index,
+                num_shards=len(shard_traces),
+                stragglers=full.stragglers,
+            )
+            for index, shard in enumerate(shard_traces)
+        ]
+
+    def shard_config(seed: int, oracle: bool) -> SimulationConfig:
+        base = build_simulation_config(full.workload, scale, seed, oracle)
+        return replace(base, stragglers=full.stragglers)
+
+    requests = [
+        RunRequest(
+            workload=shard.workload,
+            config=shard_config(seed, needs_oracle_estimates(name)),
+            policy_name=name,
+        )
+        for name in policy_names
+        for seed in scale.seeds
+        for shard in shard_workloads
+    ]
+    all_metrics = ParallelExecutor(workers=workers).run(requests)
+
+    comparison = ComparisonResult(workload=full.workload)
+    index = 0
+    for name in policy_names:
+        run = PolicyRun(policy_name=name)
+        for _seed in scale.seeds:
+            for _shard in shard_workloads:
+                metrics = all_metrics[index]
+                index += 1
+                run.results.extend(metrics.results)
+                run.metrics.append(metrics)
+        comparison.runs[name] = run
+    return comparison
 
 
 def compare_policies(

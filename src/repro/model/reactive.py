@@ -22,7 +22,6 @@ per task once it has run ω, last wave speculated immediately.
 from __future__ import annotations
 
 import heapq
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 

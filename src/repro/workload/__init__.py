@@ -32,7 +32,23 @@ from repro.workload.profiles import (
     workload_profile,
 )
 from repro.workload.synthetic import SyntheticWorkloadGenerator, WorkloadConfig
-from repro.workload.traces import TraceJob, TraceSummary, summarize_trace, trace_from_specs
+from repro.workload.trace_replay import (
+    TraceReplayConfig,
+    TraceWorkload,
+    export_trace,
+    slice_trace,
+    synthesize_trace,
+    trace_to_workload,
+)
+from repro.workload.traces import (
+    TraceFormatError,
+    TraceJob,
+    TraceSummary,
+    load_trace,
+    save_trace,
+    summarize_trace,
+    trace_from_specs,
+)
 
 __all__ = [
     "DEADLINE_BINS",
@@ -54,8 +70,17 @@ __all__ = [
     "workload_profile",
     "SyntheticWorkloadGenerator",
     "WorkloadConfig",
+    "TraceFormatError",
     "TraceJob",
+    "TraceReplayConfig",
     "TraceSummary",
+    "TraceWorkload",
+    "export_trace",
+    "load_trace",
+    "save_trace",
+    "slice_trace",
     "summarize_trace",
+    "synthesize_trace",
     "trace_from_specs",
+    "trace_to_workload",
 ]

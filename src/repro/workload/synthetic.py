@@ -32,6 +32,44 @@ ARRIVAL_POISSON = "poisson"
 ARRIVAL_SEQUENTIAL = "sequential"
 
 
+def validate_workload_knobs(
+    bound_kind: str,
+    dag_length: int,
+    intermediate_task_fraction: float,
+    deadline_slack_range: Tuple[float, float],
+    error_range: Tuple[float, float],
+) -> None:
+    """Validate the knobs shared by synthetic generation and trace replay.
+
+    One definition keeps :class:`WorkloadConfig` and
+    :class:`~repro.workload.trace_replay.TraceReplayConfig` from drifting:
+    a config accepted by one pipeline is accepted by the other.
+    """
+    if bound_kind not in (BOUND_DEADLINE, BOUND_ERROR, BOUND_EXACT, BOUND_MIXED):
+        raise ValueError(f"unknown bound_kind {bound_kind!r}")
+    if dag_length < 1:
+        raise ValueError("dag_length must be at least 1")
+    if not 0.0 < intermediate_task_fraction <= 1.0:
+        raise ValueError("intermediate_task_fraction must be in (0, 1]")
+    low, high = deadline_slack_range
+    if not 0.0 < low <= high:
+        raise ValueError("deadline_slack_range must be positive and ordered")
+    low, high = error_range
+    if not 0.0 <= low <= high < 1.0:
+        raise ValueError("error_range must lie in [0, 1) and be ordered")
+
+
+def target_waves(rng: RngStream, size_bin: str) -> int:
+    """Intended wave count per job size (§2.1): small jobs fit in one or two
+    waves, large jobs in many.  Shared by the synthetic generator and trace
+    replay so both assign identical slot caps for a given size bin."""
+    if size_bin == "small":
+        return rng.randint(1, 2)
+    if size_bin == "medium":
+        return rng.randint(2, 4)
+    return rng.randint(3, 6)
+
+
 @dataclass(frozen=True)
 class WorkloadConfig:
     """Parameters of one synthetic workload.
@@ -57,20 +95,15 @@ class WorkloadConfig:
     def __post_init__(self) -> None:
         if self.num_jobs <= 0:
             raise ValueError("num_jobs must be positive")
-        if self.bound_kind not in (BOUND_DEADLINE, BOUND_ERROR, BOUND_EXACT, BOUND_MIXED):
-            raise ValueError(f"unknown bound_kind {self.bound_kind!r}")
-        if self.dag_length < 1:
-            raise ValueError("dag_length must be at least 1")
-        if not 0.0 < self.intermediate_task_fraction <= 1.0:
-            raise ValueError("intermediate_task_fraction must be in (0, 1]")
+        validate_workload_knobs(
+            self.bound_kind,
+            self.dag_length,
+            self.intermediate_task_fraction,
+            self.deadline_slack_range,
+            self.error_range,
+        )
         if self.size_scale <= 0:
             raise ValueError("size_scale must be positive")
-        low, high = self.deadline_slack_range
-        if not 0.0 < low <= high:
-            raise ValueError("deadline_slack_range must be positive and ordered")
-        low, high = self.error_range
-        if not 0.0 <= low <= high < 1.0:
-            raise ValueError("error_range must lie in [0, 1) and be ordered")
         if self.arrival_mode not in (ARRIVAL_POISSON, ARRIVAL_SEQUENTIAL):
             raise ValueError(f"unknown arrival_mode {self.arrival_mode!r}")
 
@@ -141,12 +174,7 @@ class SyntheticWorkloadGenerator:
         return count
 
     def _target_waves(self, rng: RngStream, size_bin: str) -> int:
-        """Small jobs tend to fit in one or two waves; large jobs in many (§2.1)."""
-        if size_bin == "small":
-            return rng.randint(1, 2)
-        if size_bin == "medium":
-            return rng.randint(2, 4)
-        return rng.randint(3, 6)
+        return target_waves(rng, size_bin)
 
     # -- task works ------------------------------------------------------------------
 

@@ -11,12 +11,17 @@ in the simple schema below, should someone want to replay their own cluster:
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Sequence, Union
 
 from repro.core.job import JobSpec, job_bin_label
 from repro.utils.stats import mean, median, percentile
+
+
+class TraceFormatError(ValueError):
+    """Raised when a JSONL trace file is malformed (bad JSON, bad fields)."""
 
 
 @dataclass
@@ -28,12 +33,15 @@ class TraceJob:
     task_durations: List[float]
 
     def __post_init__(self) -> None:
-        if self.arrival_time < 0:
-            raise ValueError("arrival_time must be non-negative")
+        if not math.isfinite(self.arrival_time) or self.arrival_time < 0:
+            raise ValueError("arrival_time must be finite and non-negative")
         if not self.task_durations:
             raise ValueError("a trace job needs at least one task")
-        if any(duration <= 0 for duration in self.task_durations):
-            raise ValueError("task durations must be positive")
+        if any(
+            not math.isfinite(duration) or duration <= 0
+            for duration in self.task_durations
+        ):
+            raise ValueError("task durations must be finite and positive")
 
     @property
     def num_tasks(self) -> int:
@@ -136,20 +144,45 @@ def save_trace(trace: Sequence[TraceJob], path: Union[str, Path]) -> None:
 
 
 def load_trace(path: Union[str, Path]) -> List[TraceJob]:
-    """Read a JSON-lines trace written by :func:`save_trace` (or by users)."""
+    """Read a JSON-lines trace written by :func:`save_trace` (or by users).
+
+    Blank lines are skipped.  Anything else that is not a well-formed record
+    — invalid JSON, a non-object line, missing or non-numeric fields, values
+    :class:`TraceJob` rejects, duplicated job ids — raises
+    :class:`TraceFormatError` naming the file and line.
+    """
     path = Path(path)
     trace: List[TraceJob] = []
+    seen_ids: set = set()
     with path.open("r", encoding="utf-8") as handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
-            trace.append(
-                TraceJob(
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                raise TraceFormatError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+            if not isinstance(record, dict):
+                raise TraceFormatError(
+                    f"{path}:{lineno}: expected a JSON object, got {type(record).__name__}"
+                )
+            try:
+                job = TraceJob(
                     job_id=int(record["job_id"]),
                     arrival_time=float(record["arrival_time"]),
                     task_durations=[float(d) for d in record["task_durations"]],
                 )
-            )
+            except KeyError as exc:
+                raise TraceFormatError(
+                    f"{path}:{lineno}: missing field {exc.args[0]!r}"
+                ) from exc
+            except (TypeError, ValueError) as exc:
+                raise TraceFormatError(f"{path}:{lineno}: {exc}") from exc
+            if job.job_id in seen_ids:
+                raise TraceFormatError(
+                    f"{path}:{lineno}: duplicate job_id {job.job_id}"
+                )
+            seen_ids.add(job.job_id)
+            trace.append(job)
     return trace

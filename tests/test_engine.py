@@ -6,7 +6,6 @@ from repro.baselines import LatePolicy, NoSpeculationPolicy
 from repro.core.bounds import ApproximationBound
 from repro.core.estimators import EstimatorConfig
 from repro.core.policies import GreedySpeculative, ResourceAwareSpeculative
-from repro.simulator.cluster import ClusterConfig
 from repro.simulator.engine import Simulation, SimulationConfig, run_simulation
 from repro.simulator.stragglers import StragglerConfig
 

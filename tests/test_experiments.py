@@ -112,6 +112,7 @@ class TestFigures:
             "table1", "figure1", "figure2", "figure3", "figure4", "sec2.3",
             "figure5", "figure6", "figure7", "figure8", "figure9", "figure10",
             "figure11", "figure12", "figure13", "figure14", "figure15", "exact",
+            "trace-replay",
         }
         assert expected == set(FIGURES)
 

@@ -5,7 +5,6 @@ small workloads and any policy, the simulator must conserve slots, never
 complete more tasks than exist, respect bounds, and stay deterministic.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,5 @@
 """Unit and property-based tests for the utility layer (RNG streams, stats)."""
 
-import math
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
