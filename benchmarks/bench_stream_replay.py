@@ -1,0 +1,77 @@
+"""Micro-benchmark: streaming sharded replay vs. the batch fan-out.
+
+Times ``runner.replay_stream`` (lazy parse, lazy shards, windowed merge)
+against batch ``runner.replay`` over the same synthesized trace at the bench
+scale, asserts their digests match, and records both wall-clocks plus the
+observed peak shard residency under the ``replay-stream`` kind in
+``BENCH_engine.json``.  Streaming exists for traces that do not fit in
+memory; this record tracks that its bookkeeping stays cheap enough that it
+could be the default path.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import bench_scale, bench_scale_name, record_benchmark
+from repro.experiments.cli import metrics_digest
+from repro.experiments.runner import replay, replay_stream
+from repro.workload.trace_replay import TraceReplayConfig, synthesize_trace
+from repro.workload.traces import save_trace
+
+SHARDS = 4
+MAX_RESIDENT = 2
+
+
+def test_stream_replay_wall_clock(benchmark, tmp_path):
+    scale = bench_scale()
+    trace = synthesize_trace(
+        workload="facebook",
+        framework="hadoop",
+        num_jobs=scale.num_jobs,
+        size_scale=scale.size_scale,
+        max_tasks_per_job=scale.max_tasks_per_job,
+        seed=13,
+    )
+    path = tmp_path / "bench_trace.jsonl"
+    save_trace(trace, path)
+    replay_config = TraceReplayConfig(seed=13)
+
+    started = time.perf_counter()
+    batch = replay(
+        ["gs"], trace, replay_config=replay_config, scale=scale,
+        shards=SHARDS, workers=scale.workers,
+    )
+    batch_seconds = time.perf_counter() - started
+
+    def run_stream():
+        return replay_stream(
+            ["gs"], path, replay_config=replay_config, scale=scale,
+            shards=SHARDS, workers=scale.workers, max_resident_shards=MAX_RESIDENT,
+        )
+
+    started = time.perf_counter()
+    streamed = benchmark.pedantic(run_stream, rounds=1, iterations=1)
+    stream_seconds = time.perf_counter() - started
+
+    digests_match = metrics_digest(streamed.comparison) == metrics_digest(batch)
+    record_benchmark(
+        "replay-stream",
+        "gs",
+        wall_time_seconds=round(stream_seconds, 3),
+        wall_time_batch_seconds=round(batch_seconds, 3),
+        peak_resident_shards=streamed.peak_resident_shards,
+        max_resident_shards=MAX_RESIDENT,
+        shards=SHARDS,
+        digests_match=digests_match,
+        scale=bench_scale_name(),
+        workers=scale.workers,
+    )
+    print(
+        f"\nreplay-stream/gs: batch {batch_seconds:.2f}s, "
+        f"stream {stream_seconds:.2f}s, peak resident "
+        f"{streamed.peak_resident_shards}/{MAX_RESIDENT}, "
+        f"digests {'match' if digests_match else 'DIFFER'}"
+    )
+    assert digests_match, "streaming replay changed the metrics digest"
+    assert streamed.peak_resident_shards <= MAX_RESIDENT

@@ -1,0 +1,86 @@
+"""Micro-benchmark: shared warm-up caching in ``compare_policies``.
+
+Measures the same comparison twice — warm-up re-simulated inside every
+(policy, seed) request vs. warmed once per policy with the state snapshot
+shipped — and records both wall-clocks into ``BENCH_engine.json`` under the
+``warmup-cache`` kind, together with whether the two runs' metrics digests
+matched (they must: the cache is a wall-clock knob, not a correctness knob;
+the assert below enforces it on every bench run).
+
+The bench forces four seeds even at quick scale because cross-seed sharing
+is where the cache wins: with ``k`` seeds the uncached path warms each
+learning policy ``k`` times, the cached path once.  (At quick scale the
+warm-up is a small fraction of a run, so the measured reduction is modest;
+at ``paper()`` scale — 150 warm-up jobs, 3 seeds, 7 policies — the saved
+warm-ups dominate, which is the ROADMAP's "roughly halves" projection.)
+Both wall-clocks are best-of-two to keep the sign of the comparison stable
+against scheduler noise.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+from benchmarks.conftest import bench_scale, bench_scale_name, record_benchmark
+from repro.experiments.cli import metrics_digest
+from repro.experiments.runner import compare_policies
+from repro.workload.synthetic import WorkloadConfig
+
+#: The learning policy — the only kind that pays a warm-up at all.
+POLICIES = ("grass",)
+
+
+def test_warmup_cache_wall_clock(benchmark):
+    scale = bench_scale()
+    if len(scale.seeds) < 4:
+        scale = replace(scale, seeds=(1, 2, 3, 4))
+    config = WorkloadConfig(bound_kind="mixed", seed=11)
+
+    def run(warm_cache: bool):
+        return compare_policies(
+            POLICIES, config, scale=scale, warm_cache=warm_cache,
+            workers=scale.workers,
+        )
+
+    def best_of_two(warm_cache: bool):
+        best_seconds = float("inf")
+        result = None
+        for _ in range(2):
+            started = time.perf_counter()
+            result = run(warm_cache)
+            best_seconds = min(best_seconds, time.perf_counter() - started)
+        return result, best_seconds
+
+    uncached, uncached_seconds = best_of_two(False)
+
+    timings = []
+
+    def run_cached():
+        started = time.perf_counter()
+        result = run(True)
+        timings.append(time.perf_counter() - started)
+        return result
+
+    cached = benchmark.pedantic(run_cached, rounds=2, iterations=1)
+    cached_seconds = min(timings)
+
+    digests_match = metrics_digest(cached) == metrics_digest(uncached)
+    record_benchmark(
+        "warmup-cache",
+        "compare_policies",
+        wall_time_seconds=round(cached_seconds, 3),
+        wall_time_uncached_seconds=round(uncached_seconds, 3),
+        speedup=round(uncached_seconds / max(cached_seconds, 1e-9), 3),
+        digests_match=digests_match,
+        seeds=len(scale.seeds),
+        scale=bench_scale_name(),
+        workers=scale.workers,
+    )
+    print(
+        f"\nwarmup-cache/compare_policies: uncached {uncached_seconds:.2f}s "
+        f"-> cached {cached_seconds:.2f}s "
+        f"({uncached_seconds / max(cached_seconds, 1e-9):.2f}x), "
+        f"digests {'match' if digests_match else 'DIFFER'}"
+    )
+    assert digests_match, "warm-up caching changed the metrics digest"

@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
@@ -129,6 +131,58 @@ def compare(
     return lines, failures
 
 
+def git_sha() -> str:
+    """The current commit's sha, or 'unknown' outside a git checkout."""
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True, text=True, check=True, timeout=10,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def append_trajectory(
+    path: Path, candidate: Dict[Key, Dict], calibration: float
+) -> None:
+    """Append this run's throughput records as one JSONL trajectory line.
+
+    ``BENCH_engine.json`` only keeps the *latest* snapshot per record key; the
+    trajectory file accumulates one line per bench-gate run (timestamp, git
+    sha, calibration-normalised events/second), so the perf history survives
+    across runs and can be plotted straight from the artifact.
+    """
+    throughput = []
+    for key in sorted(candidate):
+        record = candidate[key]
+        eps = record.get("events_per_second")
+        if not isinstance(eps, (int, float)) or eps <= 0:
+            continue
+        entry = {
+            "kind": record.get("kind"),
+            "name": record.get("name"),
+            "scale": record.get("scale"),
+            "events_per_second": eps,
+        }
+        if calibration > 0:
+            # Dimensionless machine-speed-normalised throughput: comparable
+            # across the laptops and CI runners that append to this file.
+            entry["normalized_events_per_op"] = round(eps / calibration, 6)
+        throughput.append(entry)
+    line = {
+        "unix_time": int(time.time()),
+        "git_sha": git_sha(),
+        "calibration_ops_per_second": calibration,
+        "records": throughput,
+    }
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(line, sort_keys=True) + "\n")
+    print(f"bench-compare: appended trajectory line to {path}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail when fresh bench records regress past a threshold."
@@ -150,6 +204,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="only gate records measured at this scale (default quick; "
         "pass 'any' to gate every scale)",
     )
+    parser.add_argument(
+        "--append-trajectory", type=Path, default=None, metavar="PATH",
+        help="append the candidate's throughput records as one JSONL line "
+        "(timestamp, git sha, calibration-normalised events/s) to PATH",
+    )
     args = parser.parse_args(argv)
     if not 0.0 < args.max_regression < 1.0:
         parser.error("--max-regression must lie in (0, 1)")
@@ -163,6 +222,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     lines, failures = compare(
         baseline, candidate, args.max_regression, scale, speed_ratio
     )
+    if args.append_trajectory is not None:
+        append_trajectory(args.append_trajectory, candidate, candidate_cal)
     print(f"bench-compare: {args.baseline} vs {args.candidate} "
           f"(scale={args.scale}, limit -{args.max_regression:.0%}, "
           f"machine speed ratio {speed_ratio:.2f})")

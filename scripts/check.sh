@@ -1,15 +1,27 @@
 #!/usr/bin/env bash
-# Repo check harness: ./scripts/check.sh [test|bench-smoke|bench-gate|lint|all]
+# Repo check harness:
+#   ./scripts/check.sh [test|coverage|bench-smoke|bench-gate|replay-determinism|lint|all]
 #
 # * test        — the tier-1 suite (PYTHONPATH=src python -m pytest -x -q)
+# * coverage    — the tier-1 suite under pytest-cov with the line-coverage
+#                 floor (COVERAGE_FLOOR, default 84 — measured 86.8% at the
+#                 time the floor was set); requires pytest-cov (CI installs
+#                 it; locally the subcommand fails fast if it is missing)
 # * bench-smoke — the engine hot-path and trace-replay micro-benchmarks plus
-#                 one cheap figure bench at quick scale; refreshes
+#                 one cheap figure bench, the warm-up-cache bench and the
+#                 streaming-replay bench at quick scale; refreshes
 #                 benchmarks/BENCH_engine.json and fails if the refresh
 #                 produced an unreadable file
 # * bench-gate  — takes the committed BENCH_engine.json (git show HEAD:...)
-#                 as baseline, reruns bench-smoke, and fails on a >30%
+#                 as baseline, reruns bench-smoke, fails on a >30%
 #                 calibration-normalised events/second regression at quick
-#                 scale (scripts/bench_compare.py)
+#                 scale (scripts/bench_compare.py), and appends the fresh
+#                 run to benchmarks/BENCH_trajectory.jsonl (timestamp, git
+#                 sha, normalised events/s) so the perf history accumulates
+#                 instead of keeping only the latest snapshot
+# * replay-determinism — replays traces/facebook_like.jsonl at quick scale
+#                 four ways (batch/--stream x --workers 1/4) and fails
+#                 unless all four printed sha256 metrics digests agree
 # * lint        — ruff or flake8 when installed, otherwise a byte-compile
 #                 pass over src/tests/benchmarks/scripts/examples (the
 #                 container ships no linter; do NOT pip install one here)
@@ -20,15 +32,59 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 BENCH_JSON="benchmarks/BENCH_engine.json"
+BENCH_TRAJECTORY="benchmarks/BENCH_trajectory.jsonl"
+COVERAGE_FLOOR="${COVERAGE_FLOOR:-84}"
 
 run_test() {
     python -m pytest -x -q
+}
+
+run_coverage() {
+    if ! python -c "import pytest_cov" >/dev/null 2>&1; then
+        echo "coverage: pytest-cov is not installed (CI installs it; do NOT pip install here)" >&2
+        return 1
+    fi
+    python -m pytest -q \
+        --cov=repro --cov-report=term --cov-report=xml:coverage.xml \
+        --cov-fail-under="$COVERAGE_FLOOR"
+}
+
+run_replay_determinism() {
+    local trace="traces/facebook_like.jsonl"
+    local digests=""
+    local variant digest
+    for variant in \
+        "--workers 1" \
+        "--workers 4" \
+        "--workers 1 --stream" \
+        "--workers 4 --stream"
+    do
+        echo "replay-determinism: replay $variant"
+        # shellcheck disable=SC2086
+        digest="$(python -m repro.experiments.cli replay \
+            --trace "$trace" --scale quick --shards 2 --seed 0 $variant \
+            | sed -n 's/^metrics digest: sha256=//p')"
+        if [ -z "$digest" ]; then
+            echo "replay-determinism: no digest printed for '$variant'" >&2
+            return 1
+        fi
+        echo "  sha256=$digest"
+        digests="$digests$digest"$'\n'
+    done
+    if [ "$(printf '%s' "$digests" | sort -u | wc -l)" -ne 1 ]; then
+        echo "replay-determinism: FAILED — digests differ across worker/stream variants:" >&2
+        printf '%s' "$digests" >&2
+        return 1
+    fi
+    echo "replay-determinism: ok (all four variants agree)"
 }
 
 run_bench_smoke() {
     GRASS_BENCH_SCALE=quick python -m pytest -q \
         benchmarks/bench_engine_hotpath.py \
         benchmarks/bench_trace_replay.py \
+        benchmarks/bench_warmup_cache.py \
+        benchmarks/bench_stream_replay.py \
         benchmarks/bench_fig1_deadline_example.py \
         || return $?
     # The JSON merge happens in a pytest sessionfinish hook whose failure
@@ -61,7 +117,8 @@ run_bench_gate() {
     if run_bench_smoke; then
         python scripts/bench_compare.py \
             --baseline "$baseline" --candidate "$BENCH_JSON" \
-            --max-regression 0.30 --scale quick || status=$?
+            --max-regression 0.30 --scale quick \
+            --append-trajectory "$BENCH_TRAJECTORY" || status=$?
     else
         status=$?
     fi
@@ -82,12 +139,14 @@ run_lint() {
 
 case "${1:-all}" in
     test) run_test ;;
+    coverage) run_coverage ;;
     bench-smoke) run_bench_smoke ;;
     bench-gate) run_bench_gate ;;
+    replay-determinism) run_replay_determinism ;;
     lint) run_lint ;;
     all) run_lint; run_test; run_bench_smoke ;;
     *)
-        echo "usage: $0 [test|bench-smoke|bench-gate|lint|all]" >&2
+        echo "usage: $0 [test|coverage|bench-smoke|bench-gate|replay-determinism|lint|all]" >&2
         exit 2
         ;;
 esac

@@ -116,15 +116,55 @@ class SpeculationPolicy(abc.ABC):
     A policy instance is shared across the jobs of one simulation so it can
     carry state between jobs (GRASS's sample store does exactly that); the
     per-job hooks tell it when jobs start and finish.
+
+    Policies that *learn* across jobs set ``learns_across_jobs`` and implement
+    the :meth:`state_snapshot` / :meth:`restore_state` pair, which is what
+    lets the experiment harness warm a policy once and ship the warmed state
+    to worker processes instead of re-simulating the warm-up workload inside
+    every run (see ``repro.experiments.warmup``).
     """
 
     name: str = "policy"
+
+    #: True for policies whose decisions depend on state accumulated from
+    #: previously finished jobs.  Stateless policies never need a warm-up
+    #: pass: a warm-up simulation shares nothing with the real one except the
+    #: policy object, so skipping it cannot change their results.
+    learns_across_jobs: bool = False
 
     def on_job_start(self, job: Job, now: float) -> None:
         """Called when a job is admitted; default is stateless."""
 
     def on_job_finish(self, job: Job, result: JobResult, now: float) -> None:
         """Called when a job finishes (bound met or deadline hit)."""
+
+    def state_snapshot(self) -> Optional[object]:
+        """Picklable snapshot of the cross-job state, or None if stateless.
+
+        The contract: ``restore_state(state_snapshot())`` on a *fresh*
+        instance built with the same configuration must yield a policy that
+        makes exactly the decisions this instance would make from now on.
+        """
+        return None
+
+    def restore_state(self, snapshot: Optional[object]) -> None:
+        """Restore a snapshot captured by :meth:`state_snapshot`.
+
+        ``None`` (a stateless policy's snapshot) is accepted as a no-op so
+        callers can round-trip any policy uniformly; anything else on a
+        stateless policy is a usage error.
+
+        Implementations must treat ``snapshot`` as **shared read-only
+        data** and deep-copy anything mutable they adopt from it: the
+        experiment harness restores many policy instances from one snapshot
+        object when running in-process (``workers=1``), and an aliased store
+        would leak one run's learning into the next — diverging from the
+        worker-process path, where pickling isolates the copies.
+        """
+        if snapshot is not None:
+            raise ValueError(
+                f"policy {self.name!r} is stateless and cannot restore {type(snapshot).__name__}"
+            )
 
     @abc.abstractmethod
     def choose_task(self, view: SchedulingView) -> Optional[SchedulingDecision]:

@@ -10,6 +10,7 @@ RAS for their whole lifetime and recording their completion curves.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional
 
@@ -87,6 +88,7 @@ class Grass(SpeculationPolicy):
     """The GRASS speculation policy (§4)."""
 
     name = "grass"
+    learns_across_jobs = True
 
     def __init__(
         self,
@@ -179,6 +181,44 @@ class Grass(SpeculationPolicy):
         if state.uses_gs:
             return self._gs.choose_task(view)
         return self._ras.choose_task(view)
+
+    # -- warm-state snapshot ------------------------------------------------------------
+
+    def state_snapshot(self) -> dict:
+        """Everything GRASS accumulated across finished jobs, as plain data.
+
+        Captures the sample store, the perturbation coin's exact generator
+        state (so the pinning sequence continues rather than restarts) and
+        the diagnostic counters.  In-flight job bookkeeping is included for
+        completeness but is empty when snapshotting between simulations —
+        the only supported snapshot point.
+        """
+        return {
+            "store": copy.deepcopy(self.store),
+            "rng_state": self._rng.getstate(),
+            "jobs": copy.deepcopy(self._jobs),
+            "switches_performed": self.switches_performed,
+            "jobs_pinned": self.jobs_pinned,
+        }
+
+    def restore_state(self, snapshot: Optional[dict]) -> None:
+        """Adopt a snapshot from :meth:`state_snapshot` (None is a no-op).
+
+        The decider is rebuilt so it reads the restored store rather than the
+        fresh one the constructor made.
+        """
+        if snapshot is None:
+            return
+        # Deep-copy on the way in as well as out: one snapshot may warm many
+        # in-process runs (workers=1), and a shared live store would let run
+        # k's learning leak into run k+1 — diverging from the worker-process
+        # path, where pickling isolates the copies.
+        self.store = copy.deepcopy(snapshot["store"])
+        self._rng.setstate(snapshot["rng_state"])
+        self._jobs = copy.deepcopy(snapshot["jobs"])
+        self.switches_performed = snapshot["switches_performed"]
+        self.jobs_pinned = snapshot["jobs_pinned"]
+        self._decider = self._build_decider()
 
     # -- introspection ------------------------------------------------------------------
 

@@ -8,6 +8,8 @@ Examples::
     grass-experiments figure5 --repeat 3
     grass-experiments replay --trace traces/facebook_like.jsonl --policy grass
     grass-experiments replay --trace t.jsonl --workers 4 --shards 8
+    grass-experiments replay --trace big.jsonl --shards 64 --stream \
+        --max-resident-shards 2 --workers 4
 
 The figure verbs print the text table the corresponding
 :mod:`repro.experiments.figures` function produces; EXPERIMENTS.md records
@@ -20,6 +22,12 @@ prints per-policy metrics plus a digest of the merged results.
 merge is deterministic, so tables and digests are identical for any worker
 count.  ``--repeat K`` regenerates each figure K times and reports
 per-repeat wall times — useful for benchmarking the harness itself.
+
+``replay --stream`` runs the bounded-memory pipeline: the trace is parsed
+lazily and at most ``--max-resident-shards`` shard workloads exist at once,
+with shard k+1 parsing while shard k simulates.  The digest is identical to
+the batch path at the same ``--shards`` count — streaming is a memory knob,
+never a correctness knob.
 """
 
 from __future__ import annotations
@@ -34,7 +42,13 @@ from typing import List, Optional
 
 from repro.experiments.figures import FIGURES, run_figure
 from repro.experiments.policies import available_policies
-from repro.experiments.runner import ComparisonResult, ExperimentScale, replay
+from repro.experiments.runner import (
+    ComparisonResult,
+    ExperimentScale,
+    StreamedReplay,
+    replay,
+    replay_stream,
+)
 from repro.workload.profiles import available_frameworks
 from repro.workload.synthetic import (
     BOUND_DEADLINE,
@@ -133,6 +147,23 @@ def build_replay_parser() -> argparse.ArgumentParser:
         "an independent simulation (default 1)",
     )
     parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="bounded-memory streaming pipeline: parse shard k+1 while shard "
+        "k simulates, never materialising the full trace; the metrics digest "
+        "is identical to the batch path at the same --shards count (requires "
+        "an arrival-sorted trace)",
+    )
+    parser.add_argument(
+        "--max-resident-shards",
+        type=int,
+        default=2,
+        metavar="N",
+        help="with --stream: at most N shard workloads resident in the main "
+        "process at once (default 2: parse one shard ahead; 1 disables "
+        "pipelining; larger N admits more cross-shard parallelism)",
+    )
+    parser.add_argument(
         "--framework",
         default="hadoop",
         help="execution framework profile: hadoop (default) or spark",
@@ -189,18 +220,9 @@ def replay_main(argv: List[str]) -> int:
     if args.shards < 1:
         print("--shards must be >= 1", file=sys.stderr)
         return 2
-    try:
-        trace = load_trace(args.trace)
-    except FileNotFoundError:
-        print(f"trace file not found: {args.trace}", file=sys.stderr)
+    if args.max_resident_shards < 1:
+        print("--max-resident-shards must be >= 1", file=sys.stderr)
         return 2
-    except TraceFormatError as exc:
-        print(f"malformed trace: {exc}", file=sys.stderr)
-        return 2
-    if not trace:
-        print(f"trace is empty: {args.trace}", file=sys.stderr)
-        return 2
-
     policies = args.policy or ["grass", "late"]
     unknown = [name for name in policies if name not in available_policies()]
     if unknown:
@@ -222,14 +244,50 @@ def replay_main(argv: List[str]) -> int:
         framework=args.framework, bound_kind=args.bound_kind, seed=args.seed
     )
     started = time.time()
-    comparison = replay(
-        policies,
-        trace,
-        replay_config=replay_config,
-        scale=scale,
-        shards=args.shards,
-        workers=args.workers,
-    )
+    streamed: Optional[StreamedReplay] = None
+    if args.stream:
+        try:
+            streamed = replay_stream(
+                policies,
+                args.trace,
+                replay_config=replay_config,
+                scale=scale,
+                shards=args.shards,
+                workers=args.workers,
+                max_resident_shards=args.max_resident_shards,
+            )
+        except FileNotFoundError:
+            print(f"trace file not found: {args.trace}", file=sys.stderr)
+            return 2
+        except TraceFormatError as exc:
+            print(f"malformed trace: {exc}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        comparison = streamed.comparison
+        num_jobs = streamed.num_jobs
+    else:
+        try:
+            trace = load_trace(args.trace)
+        except FileNotFoundError:
+            print(f"trace file not found: {args.trace}", file=sys.stderr)
+            return 2
+        except TraceFormatError as exc:
+            print(f"malformed trace: {exc}", file=sys.stderr)
+            return 2
+        if not trace:
+            print(f"trace is empty: {args.trace}", file=sys.stderr)
+            return 2
+        comparison = replay(
+            policies,
+            trace,
+            replay_config=replay_config,
+            scale=scale,
+            shards=args.shards,
+            workers=args.workers,
+        )
+        num_jobs = len(trace)
     elapsed = time.time() - started
 
     # Accuracy is the paper's metric for deadline-bound jobs and duration the
@@ -241,8 +299,9 @@ def replay_main(argv: List[str]) -> int:
         f"{'policy':<22} | {'results':>7} | {'avg accuracy (deadline)':>23} | "
         f"{'avg duration (error)':>20} | {'bound met':>9} | {'spec copies':>11}"
     )
+    mode = " (streaming)" if args.stream else ""
     print(
-        f"Replayed {args.trace}: {len(trace)} jobs, {args.shards} shard(s), "
+        f"Replayed {args.trace}{mode}: {num_jobs} jobs, {args.shards} shard(s), "
         f"{len(scale.seeds)} seed(s), workers={args.workers}"
     )
     print(header)
@@ -260,6 +319,11 @@ def replay_main(argv: List[str]) -> int:
             f"{duration:>20} | {met:>9} | {copies:>11}"
         )
     print(f"metrics digest: sha256={metrics_digest(comparison)}")
+    if streamed is not None:
+        print(
+            f"peak resident shards: {streamed.peak_resident_shards} "
+            f"(limit {streamed.max_resident_shards})"
+        )
     print(f"(replayed in {elapsed:.1f}s)")
     return 0
 

@@ -9,6 +9,17 @@ that the serial harness turned into an overnight job.  This module provides
 order**, so the output is bit-identical to the serial path no matter how the
 OS schedules the workers.
 
+Two entry points share that contract:
+
+* :meth:`ParallelExecutor.run` — the batch path: materialise every request,
+  fan out, return a list.
+* :meth:`ParallelExecutor.run_stream` — the streaming path: consume an
+  *iterator* of requests lazily (at most ``max_in_flight`` requests are ever
+  materialised and unmerged at once) and yield metrics in request order as
+  they complete.  This is what lets trace replay build arrival-window shards
+  while earlier shards are still simulating, keeping memory bounded for
+  traces that do not fit in RAM.
+
 Determinism contract
 --------------------
 
@@ -18,9 +29,11 @@ Determinism contract
 * Every simulation is seeded explicitly; a ``(policy, seed)`` run therefore
   produces the same ``MetricsCollector`` whether it executes in this process,
   a worker process, or a different worker count.
-* ``Pool.map`` preserves input order, and the executor never reorders
-  results, so ``workers=N`` and ``workers=1`` return byte-identical payloads
-  (``tests/test_executor.py`` locks this in with a pickle comparison).
+* Results are merged strictly in request order — ``run`` never reorders and
+  ``run_stream`` yields position ``i`` before pulling request ``i + k`` past
+  its in-flight window — so ``workers=N`` and ``workers=1`` return
+  byte-identical payloads (``tests/test_executor.py`` locks this in with a
+  pickle comparison for both paths).
 
 The serial path (``workers=1``) does not touch ``multiprocessing`` at all,
 which keeps unit tests and platforms without ``fork`` happy.
@@ -30,14 +43,28 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import traceback
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.policies.base import SpeculationPolicy
 from repro.experiments.policies import make_policy
 from repro.simulator.engine import Simulation, SimulationConfig
 from repro.simulator.metrics import MetricsCollector
 from repro.workload.synthetic import GeneratedWorkload
+
+
+class RequestExecutionError(RuntimeError):
+    """A request failed inside a worker process.
+
+    ``multiprocessing`` re-raises worker exceptions in the parent with a
+    traceback that names only the pool trampoline, which is useless for
+    figuring out *which* of dozens of fanned-out simulations died.  The
+    worker therefore wraps any failure in this exception, carrying the
+    originating request's repr and the worker-side traceback as text (both
+    pickle cleanly across the process boundary).
+    """
 
 
 @dataclass(frozen=True)
@@ -49,6 +76,15 @@ class RunRequest:
     are safe to ship to worker processes; instance requests keep their
     (possibly stateful, pre-warmed) policy object and are therefore pinned to
     in-process execution.
+
+    Warm-up comes in two mutually exclusive flavours:
+
+    * ``warmup`` (+ optional ``warmup_config``) — simulate a separate
+      workload first so a learning policy starts with cluster history;
+    * ``warm_state`` — restore a pre-computed state snapshot (see
+      ``repro.experiments.warmup``) instead of re-simulating that history.
+      Snapshots are plain data, so snapshot-carrying named requests remain
+      parallel-safe.
     """
 
     workload: GeneratedWorkload
@@ -56,10 +92,36 @@ class RunRequest:
     policy_name: Optional[str] = None
     policy: Optional[SpeculationPolicy] = None
     warmup: Optional[GeneratedWorkload] = None
+    #: Config the warm-up simulation runs under; defaults to ``config``.
+    #: The warm-up cache keys warmed state on this config's seed, so callers
+    #: that share warm-ups across run seeds pass a dedicated warm-up config.
+    warmup_config: Optional[SimulationConfig] = None
+    #: Pre-warmed policy state (from ``SpeculationPolicy.state_snapshot``).
+    warm_state: Optional[object] = None
 
     def __post_init__(self) -> None:
         if (self.policy_name is None) == (self.policy is None):
             raise ValueError("give exactly one of policy_name or policy")
+        if self.warm_state is not None and self.warmup is not None:
+            raise ValueError("give at most one of warmup or warm_state")
+
+    def __repr__(self) -> str:
+        """Concise identity (the dataclass default would dump the workload)."""
+        source = (
+            self.policy_name
+            if self.policy_name is not None
+            else f"<instance {type(self.policy).__name__}>"
+        )
+        if self.warm_state is not None:
+            warm = "snapshot"
+        elif self.warmup is not None:
+            warm = f"workload[{len(self.warmup.job_specs)}]"
+        else:
+            warm = "none"
+        return (
+            f"RunRequest(policy={source}, jobs={len(self.workload.job_specs)}, "
+            f"seed={self.config.seed}, warm={warm})"
+        )
 
     @property
     def parallel_safe(self) -> bool:
@@ -72,22 +134,45 @@ class RunRequest:
         The warm-up pass exists for learning policies (GRASS): the same
         policy instance first processes a separate workload so its sample
         store reflects cluster history, exactly as a long-running production
-        scheduler would.  Warm-up results are discarded.
+        scheduler would.  Warm-up results are discarded.  A ``warm_state``
+        snapshot replaces that pass with a state restore, which is
+        byte-equivalent as long as the snapshot was taken after warming an
+        identically-configured policy under ``warmup_config``.
         """
         policy = self.policy if self.policy is not None else make_policy(self.policy_name)
-        if self.warmup is not None and self.warmup.job_specs:
-            Simulation(self.config, policy, self.warmup.specs()).run()
+        if self.warm_state is not None:
+            policy.restore_state(self.warm_state)
+        elif self.warmup is not None and self.warmup.job_specs:
+            warm_config = self.warmup_config or self.config
+            Simulation(warm_config, policy, self.warmup.specs()).run()
         return Simulation(self.config, policy, self.workload.specs()).run()
 
 
 def _execute_request(request: RunRequest) -> MetricsCollector:
-    """Module-level trampoline so requests can cross a process boundary."""
-    return request.execute()
+    """Module-level trampoline so requests can cross a process boundary.
+
+    Failures are re-raised as :class:`RequestExecutionError` naming the
+    request, because the bare exception's traceback dies at the pool
+    boundary.  The in-process path calls ``request.execute()`` directly and
+    keeps its native (fully informative) traceback.
+    """
+    try:
+        return request.execute()
+    except Exception as exc:
+        raise RequestExecutionError(
+            f"worker failed on {request!r}: {type(exc).__name__}: {exc}\n"
+            f"worker traceback:\n{traceback.format_exc()}"
+        ) from None
 
 
 def default_worker_count() -> int:
     """Worker count used when the caller passes ``workers=0`` ("auto")."""
     return max(1, (os.cpu_count() or 2) - 1)
+
+
+#: In-flight entry of the streaming merge: a pool ticket for a parallel-safe
+#: request, or the request itself when it is pinned to in-process execution.
+_InFlight = Tuple[str, Union["multiprocessing.pool.AsyncResult", RunRequest]]
 
 
 class ParallelExecutor:
@@ -108,7 +193,11 @@ class ParallelExecutor:
 
         Requests pinned to in-process execution (policy instances) run here;
         the parallel-safe remainder fans out over the pool.  A mixed batch
-        therefore still parallelises everything it can.
+        therefore still parallelises everything it can — with one deliberate
+        exception: a batch containing exactly *one* parallel-safe request
+        executes it in-process too.  Spawning a pool to run a single
+        simulation costs more than the simulation (fork + pickle + teardown),
+        so the serial fallback is intentional, not an accident of the guard.
         """
         requests = list(requests)
         if not requests:
@@ -129,3 +218,63 @@ class ParallelExecutor:
             if results[index] is None:
                 results[index] = request.execute()
         return results
+
+    def run_stream(
+        self,
+        requests: Iterable[RunRequest],
+        max_in_flight: Optional[int] = None,
+    ) -> Iterator[MetricsCollector]:
+        """Execute a request *stream* lazily, yielding metrics in order.
+
+        The streaming twin of :meth:`run`: requests are pulled from the
+        iterator only when there is room in the in-flight window, so a
+        generator that materialises expensive payloads (trace-replay shard
+        workloads) never gets more than ``max_in_flight`` of them alive in
+        this process at once.  Parallel-safe requests are submitted to the
+        pool as they are pulled; pinned (policy-instance) requests execute
+        in-process when their turn to be yielded comes, which keeps the
+        merge strictly in request order.
+
+        ``max_in_flight`` defaults to ``2 * workers`` (enough to keep every
+        worker busy while the next requests are being built).  With
+        ``workers=1`` no pool is created and the stream is fully lazy: pull
+        one, execute, yield.
+
+        Determinism matches :meth:`run`: the same requests yield
+        byte-identical metrics in the same order for any worker count.
+        """
+        iterator = iter(requests)
+        if self.workers <= 1:
+            for request in iterator:
+                yield request.execute()
+            return
+        if max_in_flight is None:
+            max_in_flight = 2 * self.workers
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be at least 1")
+
+        def resolve(entry: _InFlight) -> MetricsCollector:
+            kind, payload = entry
+            if kind == "pool":
+                return payload.get()
+            return payload.execute()
+
+        in_flight: deque = deque()
+        with multiprocessing.Pool(processes=self.workers) as pool:
+            while True:
+                # Drain before pulling: the request generator is only
+                # advanced when the new request fits in the window, which is
+                # what bounds how many of its payloads exist at once.
+                if len(in_flight) >= max_in_flight:
+                    yield resolve(in_flight.popleft())
+                    continue
+                request = next(iterator, None)
+                if request is None:
+                    break
+                if request.parallel_safe:
+                    ticket = pool.apply_async(_execute_request, (request,))
+                    in_flight.append(("pool", ticket))
+                else:
+                    in_flight.append(("local", request))
+            while in_flight:
+                yield resolve(in_flight.popleft())

@@ -15,21 +15,35 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.core.bounds import BoundType
 from repro.core.job import JobResult
 from repro.core.policies.base import SpeculationPolicy
+from pathlib import Path
+from typing import Union
+
 from repro.experiments.executor import ParallelExecutor, RunRequest
 from repro.experiments.policies import needs_oracle_estimates
+from repro.experiments.warmup import WarmupCache, policy_learns
 from repro.simulator.cluster import ClusterConfig
 from repro.simulator.engine import SimulationConfig
-from repro.simulator.metrics import MetricsCollector
 from repro.workload.bins import deadline_bin_label, error_bin_label
+from repro.workload.profiles import framework_profile
+from repro.simulator.metrics import MetricsCollector
 from repro.workload.synthetic import GeneratedWorkload, WorkloadConfig, generate_workload
 from repro.workload.trace_replay import (
     TraceReplayConfig,
     TraceWorkload,
+    iter_trace_shards,
     slice_trace,
+    straggler_cap_from_ratio,
     trace_to_workload,
 )
-from repro.workload.traces import TraceJob
+from repro.workload.traces import TraceJob, iter_trace, scan_trace
 from repro.utils.stats import mean
+
+#: Offset added to a workload's seed to derive its warm-up seed.  The
+#: warm-up workload *and* the warm-up simulation share this seed, so warmed
+#: policy state depends only on (policy, warm-up seed) — never on the
+#: measured run's seed — which is what lets one warm-up serve every seed of
+#: a multi-seed comparison (see ``repro.experiments.warmup``).
+WARMUP_SEED_OFFSET = 7919
 
 
 @dataclass(frozen=True)
@@ -356,12 +370,210 @@ def replay(
     return comparison
 
 
+class _ResidencyTracker:
+    """Counts trace shards alive in this process (built, not yet merged).
+
+    Streaming replay's request generator calls :meth:`built` when it
+    materialises a shard's workload and the merge loop calls :meth:`freed`
+    when the shard's last result lands; both run on the same thread (the
+    executor pulls requests from the merge loop's thread), so plain counters
+    suffice.  ``peak`` is the number the ``--max-resident-shards`` contract
+    is checked against.
+    """
+
+    def __init__(self) -> None:
+        self.current = 0
+        self.peak = 0
+
+    def built(self) -> None:
+        self.current += 1
+        self.peak = max(self.peak, self.current)
+
+    def freed(self) -> None:
+        self.current -= 1
+
+
+@dataclass
+class StreamedReplay:
+    """Result of :func:`replay_stream`, with its pipeline provenance."""
+
+    comparison: ComparisonResult
+    num_jobs: int
+    num_shards: int
+    max_resident_shards: int
+    peak_resident_shards: int
+
+
+def replay_stream(
+    policy_names: Sequence[str],
+    trace_path: Union[str, Path],
+    replay_config: Optional[TraceReplayConfig] = None,
+    scale: Optional[ExperimentScale] = None,
+    shards: int = 1,
+    workers: Optional[int] = None,
+    max_resident_shards: int = 2,
+) -> StreamedReplay:
+    """Replay a JSONL trace as a bounded-memory streaming pipeline.
+
+    The streaming twin of :func:`replay` for traces too large to hold in
+    memory.  Two passes over the file:
+
+    1. **Calibration scan** (``traces.scan_trace``): bounded memory (it
+       retains job *ids* for duplicate detection, never task payloads);
+       yields the job count (shard boundaries need it) and the mean
+       slowest-to-median ratio (every shard replays under the *full*
+       trace's observed straggler severity — the same pinning the batch
+       path does).
+    2. **Streamed replay**: shards are parsed lazily
+       (:func:`~repro.workload.trace_replay.iter_trace_shards`), adapted to
+       workloads one at a time, and their (policy, seed) requests fed to
+       :meth:`ParallelExecutor.run_stream` — shard ``k+1`` parses while
+       shard ``k`` simulates.
+
+    At most ``max_resident_shards`` shard workloads exist in this process at
+    once (the executor's in-flight window is sized to
+    ``(max_resident_shards - 1) * requests_per_shard + 1``, which provably
+    bounds the span of unmerged requests to that many shards).
+    ``max_resident_shards=1`` disables pipelining entirely; 2 (the default)
+    overlaps parsing with simulation; larger values admit more parallelism
+    across shards at proportional memory cost.  Worker processes briefly
+    hold a pickled copy of the shard they are simulating on top of this
+    parent-side bound.
+
+    Determinism: the requests are value-identical to :func:`replay`'s for
+    the same ``shards`` count and the merge is reassembled in the batch
+    path's (policy, seed, shard) order, so the metrics digest is identical
+    to batch replay at the same shard split for any ``workers`` and any
+    ``max_resident_shards``.  (Different shard *counts* are different
+    experiments — jobs sharing a simulation contend for the cluster — which
+    is exactly as true of the batch path.)
+
+    The returned comparison's ``workload`` carries the merged per-job
+    metadata but no job specs: materialising them is what this function
+    exists to avoid.
+
+    Streaming requires the trace file to be sorted by
+    ``(arrival_time, job_id)`` — the order batch replay sorts into — and
+    raises ``ValueError`` otherwise.
+    """
+    scale = scale or ExperimentScale()
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    if max_resident_shards < 1:
+        raise ValueError("max_resident_shards must be at least 1")
+    if workers is None:
+        workers = scale.workers
+    replay_config = replay_config or TraceReplayConfig()
+
+    scan = scan_trace(trace_path)
+    if not scan.arrival_sorted:
+        raise ValueError(
+            f"streaming replay requires a trace sorted by (arrival_time, job_id); "
+            f"{trace_path} is not — sort it or use batch replay"
+        )
+    num_shards = min(shards, scan.num_jobs)
+    framework = framework_profile(replay_config.framework)
+    stragglers = replace(
+        framework.stragglers,
+        cap=straggler_cap_from_ratio(scan.mean_slowest_to_median),
+    )
+    configs = {
+        (name, seed): SimulationConfig(
+            cluster=ClusterConfig(num_machines=scale.num_machines, seed=seed),
+            stragglers=stragglers,
+            estimator=framework.estimator,
+            seed=seed,
+            oracle_estimates=needs_oracle_estimates(name),
+        )
+        for name in policy_names
+        for seed in scale.seeds
+    }
+
+    residency = _ResidencyTracker()
+    merged_metadata: Dict[int, object] = {}
+
+    def request_stream():
+        shard_stream = iter_trace_shards(
+            iter_trace(trace_path), num_shards, scan.num_jobs
+        )
+        for shard_index in range(num_shards):
+            shard_jobs = next(shard_stream)
+            shard = trace_to_workload(
+                shard_jobs,
+                replay_config,
+                shard_index=shard_index,
+                num_shards=num_shards,
+                stragglers=stragglers,
+            )
+            del shard_jobs
+            residency.built()
+            merged_metadata.update(shard.workload.metadata)
+            for name in policy_names:
+                for seed in scale.seeds:
+                    yield RunRequest(
+                        workload=shard.workload,
+                        config=configs[(name, seed)],
+                        policy_name=name,
+                    )
+            # Drop our reference before the consumer pulls the next shard's
+            # first request, so "resident" counts real objects, not leaks.
+            del shard
+
+    per_shard = len(policy_names) * len(scale.seeds)
+    window = max(1, (max_resident_shards - 1) * per_shard + 1)
+    executor = ParallelExecutor(workers=workers)
+    collected: Dict[tuple, MetricsCollector] = {}
+    for index, metrics in enumerate(
+        executor.run_stream(request_stream(), max_in_flight=window)
+    ):
+        shard_index, remainder = divmod(index, per_shard)
+        name_index, seed_index = divmod(remainder, len(scale.seeds))
+        collected[
+            (policy_names[name_index], scale.seeds[seed_index], shard_index)
+        ] = metrics
+        if remainder == per_shard - 1:
+            residency.freed()
+
+    # Reassemble in the batch path's (policy, seed, shard) order so the
+    # merged results — and hence the metrics digest — are byte-identical.
+    stand_in = WorkloadConfig(
+        workload="trace",
+        framework=replay_config.framework,
+        num_jobs=scan.num_jobs,
+        bound_kind=replay_config.bound_kind,
+        seed=replay_config.seed,
+        dag_length=replay_config.dag_length,
+        intermediate_task_fraction=replay_config.intermediate_task_fraction,
+        deadline_slack_range=replay_config.deadline_slack_range,
+        error_range=replay_config.error_range,
+    )
+    workload = GeneratedWorkload(config=stand_in)
+    workload.metadata.update(merged_metadata)
+    comparison = ComparisonResult(workload=workload)
+    for name in policy_names:
+        run = PolicyRun(policy_name=name)
+        for seed in scale.seeds:
+            for shard_index in range(num_shards):
+                metrics = collected[(name, seed, shard_index)]
+                run.results.extend(metrics.results)
+                run.metrics.append(metrics)
+        comparison.runs[name] = run
+    return StreamedReplay(
+        comparison=comparison,
+        num_jobs=scan.num_jobs,
+        num_shards=num_shards,
+        max_resident_shards=max_resident_shards,
+        peak_resident_shards=residency.peak,
+    )
+
+
 def compare_policies(
     policy_names: Sequence[str],
     workload_config: WorkloadConfig,
     scale: Optional[ExperimentScale] = None,
     warmup: bool = True,
     workers: Optional[int] = None,
+    warm_cache: bool = True,
 ) -> ComparisonResult:
     """Run the named policies over one workload and collect their results.
 
@@ -374,6 +586,16 @@ def compare_policies(
     that many processes (0 = auto, default = ``scale.workers``).  Each run is
     explicitly seeded and the merge happens in a fixed (policy, seed) order,
     so the result is byte-identical to the serial path.
+
+    Warm-up semantics: learning policies (GRASS) first process a separate
+    warm-up workload whose generation *and* simulation are seeded by
+    ``workload seed + WARMUP_SEED_OFFSET`` — independent of the run seed, so
+    one warmed state serves every seed.  With ``warm_cache`` (the default)
+    each learning policy is warmed exactly once and its state snapshot is
+    shipped to the workers; with ``warm_cache=False`` every request
+    re-simulates the warm-up.  Both paths produce byte-identical metrics —
+    the cache is purely a wall-clock optimisation.  Stateless policies are
+    never warmed: warm-up cannot affect a policy without cross-job state.
     """
     scale = scale or ExperimentScale()
     if workers is None:
@@ -386,13 +608,31 @@ def compare_policies(
     )
     workload = generate_workload(generator_config)
     warmup_workload: Optional[GeneratedWorkload] = None
+    warmup_sim_config: Optional[SimulationConfig] = None
+    cache: Optional[WarmupCache] = None
     if warmup and scale.warmup_jobs > 0:
-        warmup_config = replace(
+        warm_seed = generator_config.seed + WARMUP_SEED_OFFSET
+        warmup_generator_config = replace(
             generator_config,
             num_jobs=scale.warmup_jobs,
-            seed=generator_config.seed + 7919,
+            seed=warm_seed,
         )
-        warmup_workload = generate_workload(warmup_config)
+        warmup_workload = generate_workload(warmup_generator_config)
+        warmup_sim_config = build_simulation_config(
+            workload, scale, warm_seed, oracle_estimates=False
+        )
+        if warm_cache:
+            cache = WarmupCache(warmup_workload, warmup_sim_config)
+            cache.prewarm(
+                policy_names, workers=ParallelExecutor(workers=workers).workers
+            )
+
+    def warm_fields(name: str) -> dict:
+        if warmup_workload is None or not policy_learns(name):
+            return {}
+        if cache is not None:
+            return {"warm_state": cache.snapshot_for(name)}
+        return {"warmup": warmup_workload, "warmup_config": warmup_sim_config}
 
     requests = [
         RunRequest(
@@ -401,7 +641,7 @@ def compare_policies(
                 workload, scale, seed, needs_oracle_estimates(name)
             ),
             policy_name=name,
-            warmup=warmup_workload,
+            **warm_fields(name),
         )
         for name in policy_names
         for seed in scale.seeds

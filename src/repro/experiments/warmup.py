@@ -1,0 +1,126 @@
+"""Shared warm-up caching: warm each learning policy once, ship snapshots.
+
+``compare_policies`` warms learning policies (GRASS) on a separate workload
+so their sample stores reflect cluster history before the measured run.
+Before this module existed, *every* ``(policy, seed)`` request re-simulated
+that identical warm-up inside ``RunRequest.execute()`` — at ``paper()``
+scale, 21 requests each paying a warm-up roughly a third as large as the
+measured workload.  The cache runs each warm-up exactly once per
+``(policy, warm-up seed)``, snapshots the policy's cross-job state
+(:meth:`~repro.core.policies.base.SpeculationPolicy.state_snapshot`) and
+ships the snapshot to workers, which restore it instead of re-simulating.
+
+Cache semantics
+---------------
+
+* **Key**: ``(policy name, warm-up seed)`` where the warm-up seed is the
+  warm-up *simulation config's* seed.  The warm-up workload itself is
+  regenerated deterministically from its config, so two calls with the same
+  key have byte-identical warm-up runs and may share a snapshot.
+* **Invalidation**: a cache instance is scoped to the one warm-up workload +
+  config pair it was constructed with — the memo key deliberately omits
+  them, so do NOT reuse an instance across different warm-up workloads or
+  configs.  Callers build a fresh cache per ``compare_policies`` call, so
+  there is nothing to invalidate within a process: changing the workload,
+  scale, framework or seed produces a different cache, never a stale hit.
+* **Transparency**: restoring a snapshot is byte-equivalent to re-running
+  the warm-up under the same config (locked in by
+  ``tests/test_warmup_cache.py``), so caching changes wall-clock only —
+  metrics digests are identical with the cache on or off.
+
+Stateless policies (``learns_across_jobs`` false) are never warmed at all:
+a warm-up simulation shares nothing with the measured one except the policy
+object, so for a policy without cross-job state it is pure waste.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.policies import make_policy
+from repro.simulator.engine import Simulation, SimulationConfig
+from repro.workload.synthetic import GeneratedWorkload
+
+
+def policy_learns(name: str) -> bool:
+    """True if the named policy carries cross-job state (needs warm-up)."""
+    return make_policy(name).learns_across_jobs
+
+
+def warm_policy_snapshot(
+    policy_name: str,
+    warmup: GeneratedWorkload,
+    warmup_config: SimulationConfig,
+) -> object:
+    """Warm a fresh instance of ``policy_name`` and return its state snapshot."""
+    policy = make_policy(policy_name)
+    Simulation(warmup_config, policy, warmup.specs()).run()
+    return policy.state_snapshot()
+
+
+def _warm_one(args: Tuple[str, GeneratedWorkload, SimulationConfig]) -> object:
+    """Pool trampoline for :func:`warm_policy_snapshot`."""
+    return warm_policy_snapshot(*args)
+
+
+class WarmupCache:
+    """Memoised warm-up snapshots for one (warm-up workload, config) pair."""
+
+    def __init__(
+        self, warmup: GeneratedWorkload, warmup_config: SimulationConfig
+    ) -> None:
+        self.warmup = warmup
+        self.warmup_config = warmup_config
+        self._snapshots: Dict[Tuple[str, int], object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _key(self, policy_name: str) -> Tuple[str, int]:
+        return (policy_name, self.warmup_config.seed)
+
+    def snapshot_for(self, policy_name: str) -> object:
+        """The warmed state snapshot for one learning policy (memoised)."""
+        key = self._key(policy_name)
+        if key in self._snapshots:
+            self.hits += 1
+            return self._snapshots[key]
+        self.misses += 1
+        snapshot = warm_policy_snapshot(policy_name, self.warmup, self.warmup_config)
+        self._snapshots[key] = snapshot
+        return snapshot
+
+    def prewarm(self, policy_names: Sequence[str], workers: int = 1) -> None:
+        """Warm every *learning* policy in ``policy_names``, possibly in parallel.
+
+        With ``workers > 1`` the independent warm-up simulations fan out over
+        a pool (snapshots are plain data, so they pickle home cleanly); the
+        pool is sized to the number of cache misses, never larger.  Results
+        land in the memo, so later :meth:`snapshot_for` calls are hits.
+        """
+        missing = [
+            name
+            for name in dict.fromkeys(policy_names)  # preserve order, dedupe
+            if policy_learns(name) and self._key(name) not in self._snapshots
+        ]
+        if not missing:
+            return
+        if workers > 1 and len(missing) > 1:
+            pool_size = min(workers, len(missing))
+            with multiprocessing.Pool(processes=pool_size) as pool:
+                snapshots: List[object] = pool.map(
+                    _warm_one,
+                    [(name, self.warmup, self.warmup_config) for name in missing],
+                )
+            for name, snapshot in zip(missing, snapshots):
+                self._snapshots[self._key(name)] = snapshot
+                self.misses += 1
+        else:
+            for name in missing:
+                self.snapshot_for(name)
+
+    def snapshot_if_learning(self, policy_name: str) -> Optional[object]:
+        """Snapshot for a learning policy, None for a stateless one."""
+        if not policy_learns(policy_name):
+            return None
+        return self.snapshot_for(policy_name)

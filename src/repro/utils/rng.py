@@ -44,6 +44,20 @@ class RngStream:
         child_name = f"{self.name}/{name}"
         return RngStream(_derive_seed(self.seed, child_name), child_name)
 
+    def getstate(self) -> tuple:
+        """Snapshot the underlying generator state (see :meth:`setstate`).
+
+        The state is a plain picklable tuple, so policies that carry an
+        ``RngStream`` across jobs (GRASS's perturbation coin) can include it
+        in their warm-up snapshots and restore it in a worker process without
+        replaying the draws that produced it.
+        """
+        return self._random.getstate()
+
+    def setstate(self, state: tuple) -> None:
+        """Restore a state captured by :meth:`getstate`."""
+        self._random.setstate(state)
+
     # -- thin passthroughs -------------------------------------------------
 
     def random(self) -> float:

@@ -32,7 +32,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.bounds import ApproximationBound
 from repro.core.job import JobPhaseSpec, JobSpec
@@ -109,14 +109,21 @@ class TraceWorkload:
         return len(self.workload)
 
 
-def observed_straggler_cap(trace: Sequence[TraceJob]) -> float:
-    """Straggler truncation cap matching the trace's slowest/median ratio.
+def straggler_cap_from_ratio(mean_ratio: float) -> float:
+    """Straggler truncation cap for an observed mean slowest/median ratio.
 
     The cap must exceed the multiplier's median (1.0), so traces with no
     observed straggling still yield a valid — nearly degenerate — model.
+    Shared by the batch path (:func:`observed_straggler_cap`) and the
+    streaming calibration pre-pass (``TraceScan``), so both derive the same
+    cap from the same statistic.
     """
-    ratio = mean([job.slowest_to_median_ratio for job in trace])
-    return max(1.05, ratio)
+    return max(1.05, mean_ratio)
+
+
+def observed_straggler_cap(trace: Sequence[TraceJob]) -> float:
+    """Straggler truncation cap matching the trace's slowest/median ratio."""
+    return straggler_cap_from_ratio(mean([job.slowest_to_median_ratio for job in trace]))
 
 
 def replay_straggler_config(
@@ -253,28 +260,81 @@ def trace_to_workload(
     )
 
 
+def shard_sizes(total_jobs: int, num_shards: int) -> List[int]:
+    """Job counts of each arrival-window shard for a trace of ``total_jobs``.
+
+    The single definition of shard boundaries: :func:`slice_trace` (batch)
+    and :func:`iter_trace_shards` (streaming) both cut windows of these
+    sizes, which is what makes a streamed replay's shard split — and hence
+    its metrics digest — identical to the batch path's at the same shard
+    count.  Shard counts larger than the trace collapse to one job per
+    shard; no shard is ever empty.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be at least 1")
+    if total_jobs < 1:
+        raise ValueError("cannot shard an empty trace")
+    num_shards = min(num_shards, total_jobs)
+    base, extra = divmod(total_jobs, num_shards)
+    return [base + (1 if index < extra else 0) for index in range(num_shards)]
+
+
 def slice_trace(trace: Sequence[TraceJob], num_shards: int) -> List[List[TraceJob]]:
     """Split a trace into arrival-contiguous windows of near-equal job count.
 
     Jobs are ordered by arrival time and cut into ``num_shards`` contiguous
     windows, so each shard covers one span of the trace's arrival timeline.
-    Shard counts larger than the trace collapse to one job per shard; the
-    result never contains an empty shard.
     """
-    if num_shards < 1:
-        raise ValueError("num_shards must be at least 1")
     if not trace:
         raise ValueError("cannot slice an empty trace")
     ordered = sorted(trace, key=lambda job: (job.arrival_time, job.job_id))
-    num_shards = min(num_shards, len(ordered))
     shards: List[List[TraceJob]] = []
-    base, extra = divmod(len(ordered), num_shards)
     start = 0
-    for index in range(num_shards):
-        size = base + (1 if index < extra else 0)
+    for size in shard_sizes(len(ordered), num_shards):
         shards.append(ordered[start : start + size])
         start += size
     return shards
+
+
+def iter_trace_shards(
+    jobs: Iterable[TraceJob], num_shards: int, total_jobs: int
+) -> Iterator[List[TraceJob]]:
+    """Lazily cut an arrival-ordered job stream into batch-identical shards.
+
+    The streaming twin of :func:`slice_trace`: given the trace's total job
+    count (from the calibration pre-pass, ``traces.scan_trace``) the shard
+    boundaries are known up front, so shards can be materialised one at a
+    time — shard ``k+1`` is only parsed once the consumer asks for it, which
+    is what lets shard ``k`` simulate while ``k+1`` is still on disk.
+
+    The stream must be sorted by ``(arrival_time, job_id)`` — the order
+    :func:`slice_trace` sorts into — or the cut windows would differ from
+    the batch path's; an out-of-order record raises ``ValueError``.  The
+    stream must also contain exactly ``total_jobs`` jobs.
+    """
+    iterator = iter(jobs)
+    previous_key = None
+    produced = 0
+    for size in shard_sizes(total_jobs, num_shards):
+        shard: List[TraceJob] = []
+        for _ in range(size):
+            job = next(iterator, None)
+            if job is None:
+                raise ValueError(
+                    f"trace stream ended after {produced} jobs; expected {total_jobs}"
+                )
+            key = (job.arrival_time, job.job_id)
+            if previous_key is not None and key < previous_key:
+                raise ValueError(
+                    "streaming shards require an arrival-sorted trace "
+                    f"(job {job.job_id} arrives at {job.arrival_time} after a later key)"
+                )
+            previous_key = key
+            shard.append(job)
+            produced += 1
+        yield shard
+    if next(iterator, None) is not None:
+        raise ValueError(f"trace stream has more than the expected {total_jobs} jobs")
 
 
 # --------------------------------------------------------------- synthesizer

@@ -14,7 +14,7 @@ import json
 import math
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence, Union
+from typing import Dict, Iterable, Iterator, List, Sequence, Union
 
 from repro.core.job import JobSpec, job_bin_label
 from repro.utils.stats import mean, median, percentile
@@ -143,16 +143,18 @@ def save_trace(trace: Sequence[TraceJob], path: Union[str, Path]) -> None:
             handle.write(json.dumps(record) + "\n")
 
 
-def load_trace(path: Union[str, Path]) -> List[TraceJob]:
-    """Read a JSON-lines trace written by :func:`save_trace` (or by users).
+def iter_trace(path: Union[str, Path]) -> Iterator[TraceJob]:
+    """Lazily parse a JSON-lines trace, one :class:`TraceJob` at a time.
 
-    Blank lines are skipped.  Anything else that is not a well-formed record
-    — invalid JSON, a non-object line, missing or non-numeric fields, values
-    :class:`TraceJob` rejects, duplicated job ids — raises
-    :class:`TraceFormatError` naming the file and line.
+    The streaming twin of :func:`load_trace`: jobs are yielded as their lines
+    are read, so a trace never has to fit in memory at once (only the
+    duplicate-id check keeps O(#jobs) of *ids*).  Blank lines are skipped.
+    Anything else that is not a well-formed record — invalid JSON, a
+    non-object line, missing or non-numeric fields, values :class:`TraceJob`
+    rejects, duplicated job ids — raises :class:`TraceFormatError` naming
+    the file and line.
     """
     path = Path(path)
-    trace: List[TraceJob] = []
     seen_ids: set = set()
     with path.open("r", encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, start=1):
@@ -184,5 +186,61 @@ def load_trace(path: Union[str, Path]) -> List[TraceJob]:
                     f"{path}:{lineno}: duplicate job_id {job.job_id}"
                 )
             seen_ids.add(job.job_id)
-            trace.append(job)
-    return trace
+            yield job
+
+
+def load_trace(path: Union[str, Path]) -> List[TraceJob]:
+    """Read a JSON-lines trace written by :func:`save_trace` (or by users).
+
+    Materialises :func:`iter_trace`; same validation, same errors.
+    """
+    return list(iter_trace(path))
+
+
+@dataclass(frozen=True)
+class TraceScan:
+    """Bounded-memory statistics from one streaming pass over a trace file.
+
+    This is the calibration pre-pass of streaming replay: sharded replay
+    needs the trace's *total* job count (to cut the same arrival windows the
+    batch path cuts) and its *mean* slowest-to-median ratio (every shard
+    replays under the full trace's observed straggler severity) before the
+    first shard simulates.  The statistics themselves accumulate in O(1)
+    memory; the pass as a whole retains only the duplicate-id check's set of
+    job ids (O(#jobs) ints — never task payloads).  The ratio sum folds
+    left-to-right exactly like ``stats.mean`` over the full list, so the
+    derived straggler cap is float-identical to the batch path's.
+    """
+
+    num_jobs: int
+    mean_slowest_to_median: float
+    #: True when (arrival_time, job_id) is non-decreasing in file order —
+    #: the precondition for lazily cutting the same shards batch replay cuts
+    #: after sorting.
+    arrival_sorted: bool
+
+
+def scan_trace(path: Union[str, Path]) -> TraceScan:
+    """One streaming pass over a JSONL trace: count, severity, sortedness.
+
+    Raises :class:`TraceFormatError` for malformed records (the pass shares
+    :func:`iter_trace`'s validation) and ``ValueError`` for an empty trace.
+    """
+    num_jobs = 0
+    ratio_sum = 0.0
+    arrival_sorted = True
+    previous_key = None
+    for job in iter_trace(path):
+        num_jobs += 1
+        ratio_sum += job.slowest_to_median_ratio
+        key = (job.arrival_time, job.job_id)
+        if previous_key is not None and key < previous_key:
+            arrival_sorted = False
+        previous_key = key
+    if num_jobs == 0:
+        raise ValueError(f"cannot scan an empty trace: {path}")
+    return TraceScan(
+        num_jobs=num_jobs,
+        mean_slowest_to_median=ratio_sum / num_jobs,
+        arrival_sorted=arrival_sorted,
+    )

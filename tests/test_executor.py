@@ -13,6 +13,7 @@ import pytest
 from repro.baselines import NoSpeculationPolicy
 from repro.experiments.executor import (
     ParallelExecutor,
+    RequestExecutionError,
     RunRequest,
     default_worker_count,
 )
@@ -114,6 +115,146 @@ class TestParallelExecutor:
         assert len(serial) == len(parallel) == 4
         for serial_metrics, parallel_metrics in zip(serial, parallel):
             assert pickle.dumps(serial_metrics) == pickle.dumps(parallel_metrics)
+
+
+class TestSingleSafeRequestFallback:
+    def test_single_safe_request_in_mixed_batch_runs_in_process(self):
+        """One parallel-safe request among pinned ones stays in-process.
+
+        Deliberate: forking a pool for a single simulation costs more than
+        the simulation.  The batch must still return correct, ordered
+        results identical to the serial path.
+        """
+        workload = _tiny_workload()
+        config = build_simulation_config(workload, TINY, seed=1, oracle_estimates=False)
+        requests = [
+            RunRequest(workload=workload, config=config, policy=NoSpeculationPolicy()),
+            RunRequest(workload=workload, config=config, policy_name="late"),
+        ]
+        serial = ParallelExecutor(workers=1).run(requests)
+        mixed = ParallelExecutor(workers=4).run(requests)
+        assert len(mixed) == 2
+        for serial_metrics, mixed_metrics in zip(serial, mixed):
+            assert pickle.dumps(serial_metrics) == pickle.dumps(mixed_metrics)
+
+
+class TestWorkerErrorSurfacing:
+    def _failing_request(self):
+        # An empty workload makes Simulation's constructor raise inside the
+        # worker — the cheapest deterministic failure available.
+        from repro.workload.synthetic import GeneratedWorkload, WorkloadConfig
+
+        workload = _tiny_workload()
+        config = build_simulation_config(workload, TINY, seed=1, oracle_estimates=False)
+        empty = GeneratedWorkload(config=WorkloadConfig())
+        return RunRequest(workload=empty, config=config, policy_name="late")
+
+    def test_worker_failure_names_the_request(self):
+        workload = _tiny_workload()
+        config = build_simulation_config(workload, TINY, seed=1, oracle_estimates=False)
+        good = RunRequest(workload=workload, config=config, policy_name="late")
+        with pytest.raises(RequestExecutionError) as excinfo:
+            ParallelExecutor(workers=2).run([good, self._failing_request()])
+        message = str(excinfo.value)
+        assert "RunRequest(policy=late" in message
+        assert "jobs=0" in message  # the failing request, not the good one
+        assert "worker traceback" in message
+
+    def test_run_stream_surfaces_worker_failures_too(self):
+        with pytest.raises(RequestExecutionError, match="jobs=0"):
+            list(
+                ParallelExecutor(workers=2).run_stream(
+                    iter([self._failing_request(), self._failing_request()])
+                )
+            )
+
+    def test_request_repr_is_concise(self):
+        workload = _tiny_workload()
+        config = build_simulation_config(workload, TINY, seed=3, oracle_estimates=False)
+        request = RunRequest(workload=workload, config=config, policy_name="late")
+        text = repr(request)
+        assert text == f"RunRequest(policy=late, jobs={len(workload.job_specs)}, seed=3, warm=none)"
+
+
+class TestRunStream:
+    def _requests(self, count: int = 6):
+        workload = _tiny_workload()
+        return [
+            RunRequest(
+                workload=workload,
+                config=build_simulation_config(workload, TINY, seed, False),
+                policy_name=name,
+            )
+            for name in ("late", "no-spec", "gs")
+            for seed in range(1, 1 + count // 3)
+        ]
+
+    def test_stream_matches_batch_bytes_for_any_workers(self):
+        requests = self._requests()
+        batch = ParallelExecutor(workers=1).run(requests)
+        for workers in (1, 4):
+            streamed = list(
+                ParallelExecutor(workers=workers).run_stream(iter(requests))
+            )
+            assert len(streamed) == len(batch)
+            for stream_metrics, batch_metrics in zip(streamed, batch):
+                assert pickle.dumps(stream_metrics) == pickle.dumps(batch_metrics)
+
+    def test_stream_bounds_materialised_requests(self):
+        """The request generator is never pulled past the in-flight window."""
+        requests = self._requests()
+        pulled = []
+
+        def generator():
+            for index, request in enumerate(requests):
+                pulled.append(index)
+                yield request
+
+        executor = ParallelExecutor(workers=2)
+        merged = 0
+        for _ in executor.run_stream(generator(), max_in_flight=2):
+            # At most window requests may be ahead of the merge point.
+            assert len(pulled) <= merged + 2 + 1
+            merged += 1
+        assert merged == len(requests)
+
+    def test_stream_handles_pinned_requests_in_order(self):
+        workload = _tiny_workload()
+        config = build_simulation_config(workload, TINY, seed=1, oracle_estimates=False)
+        requests = [
+            RunRequest(workload=workload, config=config, policy_name="late"),
+            RunRequest(workload=workload, config=config, policy=NoSpeculationPolicy()),
+            RunRequest(workload=workload, config=config, policy_name="no-spec"),
+        ]
+        serial = ParallelExecutor(workers=1).run(requests)
+        streamed = list(ParallelExecutor(workers=4).run_stream(iter(requests)))
+        for serial_metrics, stream_metrics in zip(serial, streamed):
+            assert pickle.dumps(serial_metrics) == pickle.dumps(stream_metrics)
+
+    def test_stream_empty_iterator(self):
+        assert list(ParallelExecutor(workers=4).run_stream(iter([]))) == []
+
+    def test_stream_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            list(
+                ParallelExecutor(workers=2).run_stream(
+                    iter(self._requests()), max_in_flight=0
+                )
+            )
+
+
+class TestWarmFieldValidation:
+    def test_warm_state_and_warmup_are_exclusive(self):
+        workload = _tiny_workload()
+        config = build_simulation_config(workload, TINY, seed=1, oracle_estimates=False)
+        with pytest.raises(ValueError, match="at most one"):
+            RunRequest(
+                workload=workload,
+                config=config,
+                policy_name="grass",
+                warmup=workload,
+                warm_state={"store": None},
+            )
 
 
 class TestCompareDeterminism:

@@ -1,0 +1,322 @@
+"""Tests for the bounded-memory streaming replay pipeline.
+
+The load-bearing property mirrors the executor's: streaming is a *memory*
+knob, never a correctness knob.  For any shard split, any worker count and
+any residency limit, `replay_stream` must produce byte-identical merged
+metrics — the CLI's sha256 digest — to the batch `replay` path at the same
+shard count, while never holding more than `max_resident_shards` shard
+workloads in the process.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.cli import metrics_digest
+from repro.experiments.runner import ExperimentScale, replay, replay_stream
+from repro.workload.trace_replay import (
+    TraceReplayConfig,
+    iter_trace_shards,
+    shard_sizes,
+    slice_trace,
+    synthesize_trace,
+)
+from repro.workload.traces import (
+    TraceFormatError,
+    TraceJob,
+    iter_trace,
+    save_trace,
+    scan_trace,
+)
+
+TINY = ExperimentScale(
+    num_jobs=8, size_scale=0.1, max_tasks_per_job=60, num_machines=40,
+    seeds=(1,), warmup_jobs=0,
+)
+
+
+def small_trace(num_jobs: int = 18, seed: int = 7):
+    return synthesize_trace(
+        num_jobs=num_jobs, size_scale=0.1, max_tasks_per_job=60, seed=seed
+    )
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    trace = small_trace()
+    path = tmp_path / "trace.jsonl"
+    save_trace(trace, path)
+    return path, trace
+
+
+class TestIterTrace:
+    def test_matches_load_trace(self, trace_file):
+        path, trace = trace_file
+        streamed = list(iter_trace(path))
+        assert [j.job_id for j in streamed] == [j.job_id for j in trace]
+        assert [j.task_durations for j in streamed] == [
+            j.task_durations for j in trace
+        ]
+
+    def test_is_lazy(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"job_id": 1, "arrival_time": 0.0, "task_durations": [1.0]}\nnot json\n')
+        iterator = iter_trace(path)
+        assert next(iterator).job_id == 1  # first line parses before line 2 explodes
+        with pytest.raises(TraceFormatError, match="bad.jsonl:2"):
+            next(iterator)
+
+    def test_duplicate_ids_rejected_mid_stream(self, tmp_path):
+        path = tmp_path / "dup.jsonl"
+        line = '{"job_id": 5, "arrival_time": 0.0, "task_durations": [1.0]}\n'
+        path.write_text(line + line)
+        with pytest.raises(TraceFormatError, match="duplicate job_id 5"):
+            list(iter_trace(path))
+
+
+class TestScanTrace:
+    def test_scan_matches_batch_statistics(self, trace_file):
+        path, trace = trace_file
+        scan = scan_trace(path)
+        assert scan.num_jobs == len(trace)
+        from repro.utils.stats import mean
+
+        assert scan.mean_slowest_to_median == mean(
+            [job.slowest_to_median_ratio for job in trace]
+        )
+        assert scan.arrival_sorted
+
+    def test_scan_detects_unsorted(self, tmp_path):
+        path = tmp_path / "unsorted.jsonl"
+        path.write_text(
+            '{"job_id": 1, "arrival_time": 5.0, "task_durations": [1.0]}\n'
+            '{"job_id": 2, "arrival_time": 1.0, "task_durations": [1.0]}\n'
+        )
+        assert not scan_trace(path).arrival_sorted
+
+    def test_scan_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("\n")
+        with pytest.raises(ValueError, match="empty"):
+            scan_trace(path)
+
+
+class TestLazyShards:
+    def test_boundaries_match_slice_trace(self):
+        trace = small_trace(num_jobs=11)
+        ordered = sorted(trace, key=lambda j: (j.arrival_time, j.job_id))
+        for num_shards in (1, 2, 3, 5, 11, 20):
+            eager = slice_trace(trace, num_shards)
+            lazy = list(iter_trace_shards(ordered, num_shards, len(ordered)))
+            assert [[j.job_id for j in s] for s in lazy] == [
+                [j.job_id for j in s] for s in eager
+            ]
+
+    def test_shard_sizes_never_empty(self):
+        for total in (1, 2, 7, 100):
+            for shards in (1, 3, total, total + 5):
+                sizes = shard_sizes(total, shards)
+                assert sum(sizes) == total
+                assert all(size >= 1 for size in sizes)
+
+    def test_unsorted_stream_rejected(self):
+        jobs = [
+            TraceJob(job_id=1, arrival_time=5.0, task_durations=[1.0]),
+            TraceJob(job_id=2, arrival_time=1.0, task_durations=[1.0]),
+        ]
+        with pytest.raises(ValueError, match="arrival-sorted"):
+            list(iter_trace_shards(jobs, 2, 2))
+
+    def test_wrong_total_rejected(self):
+        jobs = [TraceJob(job_id=1, arrival_time=0.0, task_durations=[1.0])]
+        with pytest.raises(ValueError, match="ended after"):
+            list(iter_trace_shards(jobs, 1, 2))
+        with pytest.raises(ValueError, match="more than"):
+            list(iter_trace_shards(jobs + [
+                TraceJob(job_id=2, arrival_time=1.0, task_durations=[1.0])
+            ], 1, 1))
+
+
+class TestStreamedReplayDeterminism:
+    @pytest.mark.parametrize("shards", [1, 3])
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_digest_matches_batch_at_same_split(self, trace_file, shards, workers):
+        path, trace = trace_file
+        config = TraceReplayConfig(seed=0)
+        batch = replay(
+            ["late", "grass"], trace, replay_config=config, scale=TINY, shards=shards
+        )
+        streamed = replay_stream(
+            ["late", "grass"],
+            path,
+            replay_config=config,
+            scale=TINY,
+            shards=shards,
+            workers=workers,
+            max_resident_shards=2,
+        )
+        assert metrics_digest(streamed.comparison) == metrics_digest(batch)
+        for name in batch.runs:
+            for ms, mb in zip(
+                streamed.comparison.runs[name].metrics, batch.runs[name].metrics
+            ):
+                assert pickle.dumps(ms) == pickle.dumps(mb)
+
+    def test_peak_residency_respects_limit(self, trace_file):
+        path, _ = trace_file
+        for limit in (1, 2, 3):
+            streamed = replay_stream(
+                ["late"],
+                path,
+                scale=TINY,
+                shards=6,
+                workers=4,
+                max_resident_shards=limit,
+            )
+            assert streamed.peak_resident_shards <= limit
+            assert streamed.num_shards == 6
+
+    def test_metadata_survives_streaming(self, trace_file):
+        path, trace = trace_file
+        streamed = replay_stream(["late"], path, scale=TINY, shards=3)
+        workload = streamed.comparison.workload
+        assert sorted(workload.metadata) == sorted(j.job_id for j in trace)
+        # Streaming never materialises the merged spec list — that is the point.
+        assert workload.job_specs == []
+
+    def test_unsorted_trace_rejected(self, tmp_path):
+        path = tmp_path / "unsorted.jsonl"
+        path.write_text(
+            '{"job_id": 1, "arrival_time": 5.0, "task_durations": [1.0]}\n'
+            '{"job_id": 2, "arrival_time": 1.0, "task_durations": [1.0]}\n'
+        )
+        with pytest.raises(ValueError, match="sorted"):
+            replay_stream(["late"], path, scale=TINY)
+
+    def test_bad_arguments_rejected(self, trace_file):
+        path, _ = trace_file
+        with pytest.raises(ValueError):
+            replay_stream(["late"], path, scale=TINY, shards=0)
+        with pytest.raises(ValueError):
+            replay_stream(["late"], path, scale=TINY, max_resident_shards=0)
+
+
+class TestStreamCli:
+    def test_stream_digest_matches_batch_digest(self, trace_file, capsys):
+        from repro.experiments.cli import main
+
+        path, _ = trace_file
+        base = ["replay", "--trace", str(path), "--policy", "late", "--scale", "quick",
+                "--shards", "2", "--seed", "3"]
+        assert main(base) == 0
+        batch_out = capsys.readouterr().out
+        assert main(base + ["--stream", "--workers", "4"]) == 0
+        stream_out = capsys.readouterr().out
+
+        def digest(text):
+            for line in text.splitlines():
+                if line.startswith("metrics digest:"):
+                    return line
+            raise AssertionError(f"no digest in {text!r}")
+
+        assert digest(batch_out) == digest(stream_out)
+        assert "(streaming)" in stream_out
+        assert "peak resident shards:" in stream_out
+
+    def test_bad_max_resident_shards_rejected(self, trace_file):
+        from repro.experiments.cli import main
+
+        path, _ = trace_file
+        assert (
+            main(["replay", "--trace", str(path), "--stream", "--max-resident-shards", "0"])
+            == 2
+        )
+
+    def test_stream_missing_file(self, tmp_path):
+        from repro.experiments.cli import main
+
+        assert (
+            main(["replay", "--trace", str(tmp_path / "nope.jsonl"), "--stream"]) == 2
+        )
+
+    def test_stream_unsorted_trace_exits_cleanly(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        path = tmp_path / "unsorted.jsonl"
+        path.write_text(
+            '{"job_id": 1, "arrival_time": 5.0, "task_durations": [1.0]}\n'
+            '{"job_id": 2, "arrival_time": 1.0, "task_durations": [1.0]}\n'
+        )
+        assert main(["replay", "--trace", str(path), "--stream"]) == 2
+        assert "sorted" in capsys.readouterr().err
+
+
+#: Hypothesis strategy for a tiny arrival-sorted trace: a few jobs with a
+#: handful of positive task durations each.
+_jobs_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=5.0),  # inter-arrival gap
+        st.lists(
+            st.floats(min_value=0.5, max_value=30.0), min_size=1, max_size=6
+        ),
+    ),
+    min_size=2,
+    max_size=8,
+)
+
+
+class TestStreamingReplayProperty:
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(jobs=_jobs_strategy, num_shards=st.integers(min_value=1, max_value=5))
+    def test_any_shard_split_streams_to_the_batch_digest(
+        self, tmp_path_factory, jobs, num_shards
+    ):
+        """Streaming a synthesized trace == batch replay, for any shard split.
+
+        For every generated trace and shard count: the streamed digest equals
+        the batch digest at that split, and the split-of-one equals the
+        unsharded batch digest — i.e. the streaming machinery (lazy parse,
+        lazy shards, windowed merge) never changes the numbers; only the
+        shard count itself (a simulation-decomposition knob shared with the
+        batch path) does.
+        """
+        trace = []
+        arrival = 0.0
+        for index, (gap, durations) in enumerate(jobs):
+            arrival += gap
+            trace.append(
+                TraceJob(
+                    job_id=index + 1,
+                    arrival_time=arrival,
+                    task_durations=list(durations),
+                )
+            )
+        path = tmp_path_factory.mktemp("prop") / "trace.jsonl"
+        save_trace(trace, path)
+        config = TraceReplayConfig(seed=3)
+        scale = ExperimentScale(
+            num_jobs=len(trace), size_scale=1.0, max_tasks_per_job=None,
+            num_machines=20, seeds=(1,), warmup_jobs=0,
+        )
+
+        streamed = replay_stream(
+            ["late"], path, replay_config=config, scale=scale,
+            shards=num_shards, max_resident_shards=1,
+        )
+        batch_same_split = replay(
+            ["late"], trace, replay_config=config, scale=scale, shards=num_shards
+        )
+        assert metrics_digest(streamed.comparison) == metrics_digest(batch_same_split)
+        assert streamed.peak_resident_shards <= 1
+
+        unsharded = replay(["late"], trace, replay_config=config, scale=scale, shards=1)
+        streamed_unsharded = replay_stream(
+            ["late"], path, replay_config=config, scale=scale, shards=1
+        )
+        assert metrics_digest(streamed_unsharded.comparison) == metrics_digest(unsharded)
