@@ -10,6 +10,7 @@ Examples::
     grass-experiments replay --trace t.jsonl --workers 4 --shards 8
     grass-experiments replay --trace big.jsonl --shards 64 --stream \
         --max-resident-shards 2 --workers 4
+    grass-experiments replay --trace huge.jsonl --stream-specs
 
 The figure verbs print the text table the corresponding
 :mod:`repro.experiments.figures` function produces; EXPERIMENTS.md records
@@ -25,9 +26,12 @@ per-repeat wall times — useful for benchmarking the harness itself.
 
 ``replay --stream`` runs the bounded-memory pipeline: the trace is parsed
 lazily and at most ``--max-resident-shards`` shard workloads exist at once,
-with shard k+1 parsing while shard k simulates.  The digest is identical to
-the batch path at the same ``--shards`` count — streaming is a memory knob,
-never a correctness knob.
+with shard k+1 parsing while shard k simulates.  ``replay --stream-specs``
+goes further: job specs stream lazily *inside* each simulation (the engine
+holds a one-spec lookahead and evicts finished jobs), so even an unsharded
+million-job replay runs with O(max concurrent jobs) resident state.  Both
+digests are identical to the batch path at the same ``--shards`` count —
+streaming is a memory knob, never a correctness knob.
 """
 
 from __future__ import annotations
@@ -164,6 +168,16 @@ def build_replay_parser() -> argparse.ArgumentParser:
         "pipelining; larger N admits more cross-shard parallelism)",
     )
     parser.add_argument(
+        "--stream-specs",
+        action="store_true",
+        help="stream job specs lazily inside each simulation: requests carry "
+        "a trace window description instead of materialised spec lists and "
+        "the engine evicts finished jobs, bounding resident state to the max "
+        "number of concurrent jobs — even with --shards 1; the digest is "
+        "identical to the batch path at the same --shards count (requires an "
+        "arrival-sorted trace)",
+    )
+    parser.add_argument(
         "--framework",
         default="hadoop",
         help="execution framework profile: hadoop (default) or spark",
@@ -245,7 +259,7 @@ def replay_main(argv: List[str]) -> int:
     )
     started = time.time()
     streamed: Optional[StreamedReplay] = None
-    if args.stream:
+    if args.stream or args.stream_specs:
         try:
             streamed = replay_stream(
                 policies,
@@ -255,6 +269,7 @@ def replay_main(argv: List[str]) -> int:
                 shards=args.shards,
                 workers=args.workers,
                 max_resident_shards=args.max_resident_shards,
+                stream_specs=args.stream_specs,
             )
         except FileNotFoundError:
             print(f"trace file not found: {args.trace}", file=sys.stderr)
@@ -299,7 +314,12 @@ def replay_main(argv: List[str]) -> int:
         f"{'policy':<22} | {'results':>7} | {'avg accuracy (deadline)':>23} | "
         f"{'avg duration (error)':>20} | {'bound met':>9} | {'spec copies':>11}"
     )
-    mode = " (streaming)" if args.stream else ""
+    if args.stream_specs:
+        mode = " (streaming specs)"
+    elif args.stream:
+        mode = " (streaming)"
+    else:
+        mode = ""
     print(
         f"Replayed {args.trace}{mode}: {num_jobs} jobs, {args.shards} shard(s), "
         f"{len(scale.seeds)} seed(s), workers={args.workers}"
@@ -319,11 +339,28 @@ def replay_main(argv: List[str]) -> int:
             f"{duration:>20} | {met:>9} | {copies:>11}"
         )
     print(f"metrics digest: sha256={metrics_digest(comparison)}")
-    if streamed is not None:
+    truncated = sum(
+        metrics.truncated_jobs
+        for run in comparison.runs.values()
+        for metrics in run.metrics
+    )
+    if truncated:
         print(
-            f"peak resident shards: {streamed.peak_resident_shards} "
-            f"(limit {streamed.max_resident_shards})"
+            f"warning: {truncated} job run(s) truncated at max_simulated_time "
+            "(in flight or never arrived when the clock ran out)",
+            file=sys.stderr,
         )
+    if streamed is not None:
+        if streamed.stream_specs:
+            print(
+                f"peak resident jobs: {streamed.peak_resident_jobs} "
+                f"(of {streamed.num_jobs} in the trace)"
+            )
+        else:
+            print(
+                f"peak resident shards: {streamed.peak_resident_shards} "
+                f"(limit {streamed.max_resident_shards})"
+            )
     print(f"(replayed in {elapsed:.1f}s)")
     return 0
 

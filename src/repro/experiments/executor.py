@@ -77,6 +77,18 @@ class RunRequest:
     (possibly stateful, pre-warmed) policy object and are therefore pinned to
     in-process execution.
 
+    The jobs come from exactly one of two sources:
+
+    * ``workload`` — a materialised :class:`GeneratedWorkload`;
+    * ``spec_source`` — a lazy *description* of the specs (any picklable
+      object with ``iter_specs() -> Iterator[JobSpec]``, e.g.
+      :class:`~repro.workload.trace_replay.TraceSpecSource`).  The executing
+      process — worker or parent — materialises specs one at a time straight
+      into the engine's lazy ingestion, so no process ever holds the spec
+      list; this is what bounds memory for unsharded million-job replays.
+      The source's spec stream must be sorted by ``(arrival_time, job_id)``
+      (the engine raises otherwise).
+
     Warm-up comes in two mutually exclusive flavours:
 
     * ``warmup`` (+ optional ``warmup_config``) — simulate a separate
@@ -87,8 +99,8 @@ class RunRequest:
       parallel-safe.
     """
 
-    workload: GeneratedWorkload
-    config: SimulationConfig
+    workload: Optional[GeneratedWorkload] = None
+    config: SimulationConfig = None  # type: ignore[assignment]
     policy_name: Optional[str] = None
     policy: Optional[SpeculationPolicy] = None
     warmup: Optional[GeneratedWorkload] = None
@@ -98,8 +110,14 @@ class RunRequest:
     warmup_config: Optional[SimulationConfig] = None
     #: Pre-warmed policy state (from ``SpeculationPolicy.state_snapshot``).
     warm_state: Optional[object] = None
+    #: Lazy spec source (duck-typed: ``iter_specs()``); see the class docs.
+    spec_source: Optional[object] = None
 
     def __post_init__(self) -> None:
+        if self.config is None:
+            raise ValueError("a run request needs a simulation config")
+        if (self.workload is None) == (self.spec_source is None):
+            raise ValueError("give exactly one of workload or spec_source")
         if (self.policy_name is None) == (self.policy is None):
             raise ValueError("give exactly one of policy_name or policy")
         if self.warm_state is not None and self.warmup is not None:
@@ -118,8 +136,12 @@ class RunRequest:
             warm = f"workload[{len(self.warmup.job_specs)}]"
         else:
             warm = "none"
+        if self.workload is not None:
+            jobs = f"jobs={len(self.workload.job_specs)}"
+        else:
+            jobs = f"specs={self.spec_source}"
         return (
-            f"RunRequest(policy={source}, jobs={len(self.workload.job_specs)}, "
+            f"RunRequest(policy={source}, {jobs}, "
             f"seed={self.config.seed}, warm={warm})"
         )
 
@@ -145,6 +167,11 @@ class RunRequest:
         elif self.warmup is not None and self.warmup.job_specs:
             warm_config = self.warmup_config or self.config
             Simulation(warm_config, policy, self.warmup.specs()).run()
+        if self.spec_source is not None:
+            # Lazy path: the spec-source iterator feeds the engine's
+            # one-spec-lookahead ingestion; peak resident jobs stays O(max
+            # concurrent) end to end.
+            return Simulation(self.config, policy, self.spec_source.iter_specs()).run()
         return Simulation(self.config, policy, self.workload.specs()).run()
 
 

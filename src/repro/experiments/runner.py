@@ -20,7 +20,11 @@ from typing import Union
 
 from repro.experiments.executor import ParallelExecutor, RunRequest
 from repro.experiments.policies import needs_oracle_estimates
-from repro.experiments.warmup import WarmupCache, policy_learns
+from repro.experiments.warmup import (
+    WarmupCache,
+    check_warmup_seed_collision,
+    policy_learns,
+)
 from repro.simulator.cluster import ClusterConfig
 from repro.simulator.engine import SimulationConfig
 from repro.workload.bins import deadline_bin_label, error_bin_label
@@ -29,7 +33,9 @@ from repro.simulator.metrics import MetricsCollector
 from repro.workload.synthetic import GeneratedWorkload, WorkloadConfig, generate_workload
 from repro.workload.trace_replay import (
     TraceReplayConfig,
+    TraceSpecSource,
     TraceWorkload,
+    iter_job_specs,
     iter_trace_shards,
     slice_trace,
     straggler_cap_from_ratio,
@@ -402,6 +408,13 @@ class StreamedReplay:
     num_shards: int
     max_resident_shards: int
     peak_resident_shards: int
+    #: With ``stream_specs``: True — requests carried lazy spec sources, not
+    #: materialised shard workloads.
+    stream_specs: bool = False
+    #: Engine high-water mark of concurrently resident jobs, maximised over
+    #: every (policy, seed, shard) simulation.  The bounded-memory gauge of
+    #: spec streaming: O(max concurrent jobs), not O(trace).
+    peak_resident_jobs: int = 0
 
 
 def replay_stream(
@@ -412,6 +425,7 @@ def replay_stream(
     shards: int = 1,
     workers: Optional[int] = None,
     max_resident_shards: int = 2,
+    stream_specs: bool = False,
 ) -> StreamedReplay:
     """Replay a JSONL trace as a bounded-memory streaming pipeline.
 
@@ -440,13 +454,30 @@ def replay_stream(
     hold a pickled copy of the shard they are simulating on top of this
     parent-side bound.
 
+    ``stream_specs`` pushes the bound *inside* each simulation: requests
+    carry a lazy :class:`~repro.workload.trace_replay.TraceSpecSource`
+    (a path plus shard coordinates) instead of a materialised shard
+    workload, and the executing process feeds specs one at a time into the
+    engine's lazy ingestion — no process ever holds a shard's spec list, so
+    even an *unsharded* million-job replay runs with O(max concurrent jobs)
+    resident state.  ``peak_resident_jobs`` on the result reports the
+    engine's high-water mark; ``peak_resident_shards`` stays 0 because the
+    parent never materialises a shard at all, and ``max_resident_shards``
+    is accordingly ignored (with nothing to bound, the executor's default
+    in-flight window keeps every worker busy instead).  (The parent still collects
+    the per-job metadata the figure breakdowns need with one extra
+    spec-construction pass — small records only, never task payloads.)
+
     Determinism: the requests are value-identical to :func:`replay`'s for
     the same ``shards`` count and the merge is reassembled in the batch
     path's (policy, seed, shard) order, so the metrics digest is identical
-    to batch replay at the same shard split for any ``workers`` and any
-    ``max_resident_shards``.  (Different shard *counts* are different
-    experiments — jobs sharing a simulation contend for the cluster — which
-    is exactly as true of the batch path.)
+    to batch replay at the same shard split for any ``workers``, any
+    ``max_resident_shards`` and either ``stream_specs`` setting —
+    spec-streaming produces byte-identical specs (same per-job RNG streams)
+    and a byte-identical engine event order (``tests/test_stream_specs.py``
+    locks this in).  (Different shard *counts* are different experiments —
+    jobs sharing a simulation contend for the cluster — which is exactly as
+    true of the batch path.)
 
     The returned comparison's ``workload`` carries the merged per-job
     metadata but no job specs: materialising them is what this function
@@ -493,6 +524,26 @@ def replay_stream(
     merged_metadata: Dict[int, object] = {}
 
     def request_stream():
+        if stream_specs:
+            # Lazy-spec requests: a picklable description per shard, nothing
+            # materialised in this process; the executing side streams the
+            # shard's specs straight into the engine.
+            for shard_index in range(num_shards):
+                source = TraceSpecSource(
+                    trace_path=str(trace_path),
+                    replay_config=replay_config,
+                    shard_index=shard_index,
+                    num_shards=num_shards,
+                    total_jobs=scan.num_jobs,
+                )
+                for name in policy_names:
+                    for seed in scale.seeds:
+                        yield RunRequest(
+                            spec_source=source,
+                            config=configs[(name, seed)],
+                            policy_name=name,
+                        )
+            return
         shard_stream = iter_trace_shards(
             iter_trace(trace_path), num_shards, scan.num_jobs
         )
@@ -520,9 +571,16 @@ def replay_stream(
             del shard
 
     per_shard = len(policy_names) * len(scale.seeds)
-    window = max(1, (max_resident_shards - 1) * per_shard + 1)
+    if stream_specs:
+        # No shard workload is ever resident here, so the residency window
+        # has nothing to bound — spec-source requests are tiny descriptions;
+        # let the executor keep every worker busy (its 2*workers default).
+        window = None
+    else:
+        window = max(1, (max_resident_shards - 1) * per_shard + 1)
     executor = ParallelExecutor(workers=workers)
     collected: Dict[tuple, MetricsCollector] = {}
+    peak_resident_jobs = 0
     for index, metrics in enumerate(
         executor.run_stream(request_stream(), max_in_flight=window)
     ):
@@ -531,8 +589,17 @@ def replay_stream(
         collected[
             (policy_names[name_index], scale.seeds[seed_index], shard_index)
         ] = metrics
-        if remainder == per_shard - 1:
+        peak_resident_jobs = max(peak_resident_jobs, metrics.peak_resident_jobs)
+        if not stream_specs and remainder == per_shard - 1:
             residency.freed()
+    if stream_specs:
+        # The workers never ship metadata home, so collect it here with one
+        # streaming spec-construction pass: O(#jobs) small metadata records,
+        # never a spec list (each constructed spec is discarded immediately).
+        for _ in iter_job_specs(
+            iter_trace(trace_path), replay_config, metadata=merged_metadata
+        ):
+            pass
 
     # Reassemble in the batch path's (policy, seed, shard) order so the
     # merged results — and hence the metrics digest — are byte-identical.
@@ -564,6 +631,8 @@ def replay_stream(
         num_shards=num_shards,
         max_resident_shards=max_resident_shards,
         peak_resident_shards=residency.peak,
+        stream_specs=stream_specs,
+        peak_resident_jobs=peak_resident_jobs,
     )
 
 
@@ -612,6 +681,10 @@ def compare_policies(
     cache: Optional[WarmupCache] = None
     if warmup and scale.warmup_jobs > 0:
         warm_seed = generator_config.seed + WARMUP_SEED_OFFSET
+        # A measured seed equal to the warm-up seed would silently measure
+        # the very simulation the policy warmed up on; refuse it whether or
+        # not the cache path is taken (the cache re-checks defensively).
+        check_warmup_seed_collision(warm_seed, scale.seeds)
         warmup_generator_config = replace(
             generator_config,
             num_jobs=scale.warmup_jobs,
@@ -622,7 +695,9 @@ def compare_policies(
             workload, scale, warm_seed, oracle_estimates=False
         )
         if warm_cache:
-            cache = WarmupCache(warmup_workload, warmup_sim_config)
+            cache = WarmupCache(
+                warmup_workload, warmup_sim_config, measured_seeds=scale.seeds
+            )
             cache.prewarm(
                 policy_names, workers=ParallelExecutor(workers=workers).workers
             )

@@ -48,6 +48,25 @@ def policy_learns(name: str) -> bool:
     return make_policy(name).learns_across_jobs
 
 
+def check_warmup_seed_collision(
+    warmup_seed: int, measured_seeds: Sequence[int]
+) -> None:
+    """Reject a warm-up seed that is also a measured run seed.
+
+    A measured run whose simulation seed equals the warm-up seed replays the
+    exact cluster and straggler draws the policy just warmed up on, silently
+    biasing learning policies toward that one seed.  Nothing downstream can
+    tell the two runs apart, so the collision must be refused up front.
+    """
+    if warmup_seed in measured_seeds:
+        raise ValueError(
+            f"warm-up seed collision: measured seed {warmup_seed} equals the "
+            "derived warm-up seed (workload seed + WARMUP_SEED_OFFSET), so the "
+            "measured run would replay the exact simulation the policy warmed "
+            "up on; pick different run seeds or disable warm-up"
+        )
+
+
 def warm_policy_snapshot(
     policy_name: str,
     warmup: GeneratedWorkload,
@@ -65,11 +84,20 @@ def _warm_one(args: Tuple[str, GeneratedWorkload, SimulationConfig]) -> object:
 
 
 class WarmupCache:
-    """Memoised warm-up snapshots for one (warm-up workload, config) pair."""
+    """Memoised warm-up snapshots for one (warm-up workload, config) pair.
+
+    ``measured_seeds`` (when given) are the simulation seeds of the runs the
+    warm-ups will serve; the constructor refuses a warm-up seed that is also
+    a measured seed (see :func:`check_warmup_seed_collision`).
+    """
 
     def __init__(
-        self, warmup: GeneratedWorkload, warmup_config: SimulationConfig
+        self,
+        warmup: GeneratedWorkload,
+        warmup_config: SimulationConfig,
+        measured_seeds: Sequence[int] = (),
     ) -> None:
+        check_warmup_seed_collision(warmup_config.seed, measured_seeds)
         self.warmup = warmup
         self.warmup_config = warmup_config
         self._snapshots: Dict[Tuple[str, int], object] = {}

@@ -33,13 +33,35 @@ state), never O(cluster) or O(workload):
 
 ``benchmarks/bench_engine_hotpath.py`` tracks the resulting events/second;
 regressions in this file show up directly in its ``BENCH_engine.json``.
+
+Memory
+------
+
+Resident state is O(max *concurrent* jobs), never O(workload) — the only
+per-job residues are plain ints (the duplicate-id check's id set) and the
+metrics' per-job results, never specs, tasks or estimators:
+
+* ``job_specs`` may be a lazy ``Iterable[JobSpec]`` (any non-``Sequence``
+  iterable, e.g. a generator) sorted by ``(arrival_time, job_id)``.  The
+  engine holds a one-spec lookahead and injects each ``JOB_ARRIVAL`` only
+  when the previous arrival has been handled, so specs materialise one at a
+  time, interleaved correctly with in-flight copy-finish/deadline events.
+  A ``Sequence`` is sorted and validated up front exactly as before — the
+  two ingestion paths produce byte-identical event streams (same RNG spawn
+  order, same ``(arrival_time, job_id)`` tie-breaking), which
+  ``tests/test_stream_specs.py`` locks in with a pickled-metrics property
+  test.
+* ``_finish_job`` evicts the job's ``Job``, ``TaskEstimator`` and spec the
+  moment its :class:`~repro.core.job.JobResult` is recorded (outstanding
+  event handles were already cancelled), so finished jobs never accumulate.
+  ``peak_resident_jobs`` reports the high-water mark.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.estimators import EstimatorConfig, TaskEstimator
 from repro.core.job import Job, JobSpec
@@ -79,10 +101,8 @@ class Simulation:
         self,
         config: SimulationConfig,
         policy: SpeculationPolicy,
-        job_specs: Sequence[JobSpec],
+        job_specs: Union[Sequence[JobSpec], Iterable[JobSpec]],
     ) -> None:
-        if not job_specs:
-            raise ValueError("a simulation needs at least one job")
         self.config = config
         self.policy = policy
         self.cluster = Cluster(config.cluster)
@@ -91,16 +111,39 @@ class Simulation:
         self._events = EventQueue()
         self._now = 0.0
         self._rng = RngStream(config.seed, "engine")
-        self._job_specs = sorted(job_specs, key=lambda spec: (spec.arrival_time, spec.job_id))
-        self._spec_by_id: Dict[int, JobSpec] = {
-            spec.job_id: spec for spec in self._job_specs
-        }
-        if len(self._spec_by_id) != len(self._job_specs):
-            raise ValueError("job ids must be unique within a workload")
+        if isinstance(job_specs, Sequence):
+            # Materialised path: sort and validate up front, as always.
+            ordered = sorted(
+                job_specs, key=lambda spec: (spec.arrival_time, spec.job_id)
+            )
+            if len({spec.job_id for spec in ordered}) != len(ordered):
+                raise ValueError("job ids must be unique within a workload")
+            self._spec_stream: Iterator[JobSpec] = iter(ordered)
+            self._seen_job_ids: Optional[set] = None  # validated above
+        else:
+            # Lazy path: specs materialise one at a time; ordering and id
+            # uniqueness are enforced as they are consumed by
+            # ``_push_next_arrival``.  The dedup set holds job *ids* only
+            # (ints, never specs) — the same bounded bookkeeping
+            # ``traces.iter_trace`` keeps, and no more than the results list
+            # already grows.
+            self._spec_stream = iter(job_specs)
+            self._seen_job_ids = set()
+        self._next_spec: Optional[JobSpec] = next(self._spec_stream, None)
+        if self._next_spec is None:
+            raise ValueError("a simulation needs at least one job")
+        self._last_arrival_key: Optional[Tuple[float, int]] = None
+        # Specs whose arrival event is scheduled but has not fired yet (at
+        # most one at a time); evicted again the moment the job finishes.
+        self._spec_by_id: Dict[int, JobSpec] = {}
         self._jobs: Dict[int, Job] = {}
         self._estimators: Dict[int, TaskEstimator] = {}
-        self._running_job_ids: List[int] = []
+        # Insertion-ordered job-id set (dict keys): O(1) removal on job
+        # finish with the same deterministic iteration order the old list
+        # gave the fair-share and dispatch loops.
+        self._running_job_ids: Dict[int, None] = {}
         self._copy_counter = 0
+        self.peak_resident_jobs = 0
         self._reserved_slots = int(
             round(config.background_utilization * self.cluster.total_slots)
         )
@@ -121,13 +164,14 @@ class Simulation:
 
     def run(self) -> MetricsCollector:
         """Execute the simulation to completion and return the metrics."""
-        for spec in self._job_specs:
-            self._events.push(spec.arrival_time, EventKind.JOB_ARRIVAL, job_id=spec.job_id)
+        self._push_next_arrival()
+        truncated = False
         while True:
             event = self._events.pop()
             if event is None:
                 break
             if event.time > self.config.max_simulated_time:
+                truncated = True
                 break
             self._now = max(self._now, event.time)
             self._process_event(event)
@@ -141,12 +185,31 @@ class Simulation:
                 self._process_event(self._events.pop())
             self._recompute_allocations()
             self._dispatch()
-        # Force-finish anything still running (safety net for malformed
-        # workloads or policies that refuse to schedule).
+        if truncated:
+            self.metrics.truncated_jobs = self._count_truncated_jobs()
+        # Force-finish anything still running (jobs in flight when the clock
+        # ran out, or — the safety net — workloads a policy refused to
+        # schedule); their partial results are still recorded.
         for job_id in list(self._running_job_ids):
             self._finish_job(self._jobs[job_id])
         self.metrics.simulated_time = self._now
+        self.metrics.peak_resident_jobs = self.peak_resident_jobs
         return self.metrics
+
+    def _count_truncated_jobs(self) -> int:
+        """Jobs cut off by ``max_simulated_time``: in flight or never arrived.
+
+        In-flight jobs are force-finished with partial results; jobs whose
+        arrivals lie beyond the horizon produce no result at all.  Counting
+        the latter drains the spec stream (O(trace) time, O(1) memory) —
+        acceptable on the truncation path, which is the exceptional exit.
+        The count is identical for the lazy and materialised ingestion paths.
+        """
+        never_arrived = len(self._spec_by_id) - len(self._jobs)
+        if self._next_spec is not None:
+            never_arrived += 1
+        never_arrived += sum(1 for _ in self._spec_stream)
+        return len(self._running_job_ids) + never_arrived
 
     # ------------------------------------------------------------------ event handlers
 
@@ -164,15 +227,47 @@ class Simulation:
         elif event.kind is EventKind.JOB_DEADLINE:
             self._handle_deadline(event.payload["job_id"])
 
+    def _push_next_arrival(self) -> None:
+        """Schedule the lookahead spec's arrival and advance the lookahead.
+
+        Exactly one not-yet-arrived spec has an event in the queue at any
+        time.  Because specs are consumed in ``(arrival_time, job_id)`` order
+        — sorted up front for sequences, enforced here for lazy iterables —
+        the pop order of the queue is byte-identical to the old
+        push-everything-up-front scheme: arrival/arrival ties are injected in
+        key order, and arrival ties against other kinds are resolved by the
+        kind priority, never by push order.
+        """
+        spec = self._next_spec
+        if spec is None:
+            return
+        key = (spec.arrival_time, spec.job_id)
+        if self._last_arrival_key is not None and key <= self._last_arrival_key:
+            raise ValueError(
+                "lazy job specs must be sorted by (arrival_time, job_id) with "
+                f"unique ids (job {spec.job_id} at t={spec.arrival_time} after "
+                f"key {self._last_arrival_key})"
+            )
+        if self._seen_job_ids is not None:
+            if spec.job_id in self._seen_job_ids:
+                raise ValueError("job ids must be unique within a workload")
+            self._seen_job_ids.add(spec.job_id)
+        self._last_arrival_key = key
+        self._spec_by_id[spec.job_id] = spec
+        self._events.push(spec.arrival_time, EventKind.JOB_ARRIVAL, job_id=spec.job_id)
+        self._next_spec = next(self._spec_stream, None)
+
     def _handle_arrival(self, job_id: int) -> None:
         spec = self._spec_by_id[job_id]
         job = Job(spec)
         job.start(self._now)
         self._jobs[job_id] = job
+        if len(self._jobs) > self.peak_resident_jobs:
+            self.peak_resident_jobs = len(self._jobs)
         self._estimators[job_id] = TaskEstimator(
             self.config.estimator, self._rng.spawn(f"estimator/{job_id}")
         )
-        self._running_job_ids.append(job_id)
+        self._running_job_ids[job_id] = None
         self._alloc_dirty = True
         self._recompute_allocations()
         self._set_input_deadline(job)
@@ -185,6 +280,9 @@ class Simulation:
                 self._now + effective, EventKind.JOB_DEADLINE, job_id=job_id
             )
         self.policy.on_job_start(job, self._now)
+        # This arrival is done; stage the next one (same or later instant, so
+        # the same-instant drain in ``run`` still sees it before dispatching).
+        self._push_next_arrival()
 
     def _handle_copy_finish(self, job_id: int, task_id: int, copy_id: int) -> None:
         job = self._jobs[job_id]
@@ -263,10 +361,15 @@ class Simulation:
             self._release_copy(job, victim)
             self.metrics.record_wasted_work(victim.end_time - victim.start_time)
         job.finish(self._now)
-        if job.job_id in self._running_job_ids:
-            self._running_job_ids.remove(job.job_id)
+        self._running_job_ids.pop(job.job_id, None)
         self._alloc_dirty = True
-        estimator = self._estimators[job.job_id]
+        # Evict the finished job's state the moment its result is recorded:
+        # without this, resident jobs/estimators/specs grow with trace length
+        # even though only the results are ever read again.  Every pending
+        # event handle was cancelled above, so nothing can reach the job.
+        estimator = self._estimators.pop(job.job_id)
+        self._jobs.pop(job.job_id, None)
+        self._spec_by_id.pop(job.job_id, None)
         result = job.to_result(
             policy_label=self.policy.label(),
             estimator_accuracy=estimator.combined_accuracy,
@@ -429,7 +532,7 @@ class Simulation:
 
 
 def run_simulation(
-    job_specs: Sequence[JobSpec],
+    job_specs: Union[Sequence[JobSpec], Iterable[JobSpec]],
     policy: SpeculationPolicy,
     config: Optional[SimulationConfig] = None,
 ) -> MetricsCollector:

@@ -26,6 +26,12 @@ class MetricsCollector:
     wasted_slot_seconds: float = 0.0
     utilization_stats: OnlineStats = field(default_factory=OnlineStats)
     simulated_time: float = 0.0
+    #: Jobs cut off by ``max_simulated_time``: in flight (force-finished with
+    #: partial results) or arriving past the horizon (no result at all).
+    truncated_jobs: int = 0
+    #: High-water mark of jobs resident in the engine at once — O(max
+    #: concurrent), not O(workload), now that finished jobs are evicted.
+    peak_resident_jobs: int = 0
 
     # -- recording -------------------------------------------------------------
 
@@ -119,4 +125,6 @@ class MetricsCollector:
             "wasted_slot_seconds": self.wasted_slot_seconds,
             "mean_utilization": self.utilization_stats.mean,
             "simulated_time": self.simulated_time,
+            "truncated_jobs": float(self.truncated_jobs),
+            "peak_resident_jobs": float(self.peak_resident_jobs),
         }

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
+from itertools import islice
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -54,6 +55,7 @@ from repro.workload.synthetic import (
 from repro.workload.traces import (
     TraceJob,
     TraceSummary,
+    iter_trace,
     save_trace,
     summarize_trace,
     trace_from_specs,
@@ -122,7 +124,14 @@ def straggler_cap_from_ratio(mean_ratio: float) -> float:
 
 
 def observed_straggler_cap(trace: Sequence[TraceJob]) -> float:
-    """Straggler truncation cap matching the trace's slowest/median ratio."""
+    """Straggler truncation cap matching the trace's slowest/median ratio.
+
+    Raises a clear ``ValueError`` on an empty trace (mirroring
+    ``traces.scan_trace``) instead of leaking ``stats.mean``'s bare
+    "mean of an empty sequence is undefined".
+    """
+    if not trace:
+        raise ValueError("cannot calibrate stragglers for an empty trace")
     return straggler_cap_from_ratio(mean([job.slowest_to_median_ratio for job in trace]))
 
 
@@ -223,7 +232,6 @@ def trace_to_workload(
         seen_ids.add(job.job_id)
 
     ordered = sorted(trace, key=lambda job: (job.arrival_time, job.job_id))
-    base_arrival = ordered[0].arrival_time
     # Provenance stand-in: ``workload`` records the trace name, which is not
     # a profile name — ``framework_profile`` (the only profile downstream
     # code reads for replay) stays valid, but ``workload_profile`` would not
@@ -240,12 +248,11 @@ def trace_to_workload(
         error_range=config.error_range,
     )
     workload = GeneratedWorkload(config=stand_in)
-    for job in ordered:
-        spec, metadata = _job_spec_from_trace(
-            job, config, arrival_time=job.arrival_time - base_arrival
-        )
-        workload.job_specs.append(spec)
-        workload.metadata[spec.job_id] = metadata
+    # Materialise through the streaming adapter so the batch and lazy paths
+    # cannot drift: byte-identical specs are structural, not a convention.
+    workload.job_specs.extend(
+        iter_job_specs(ordered, config, metadata=workload.metadata)
+    )
 
     if stragglers is None:
         stragglers = replay_straggler_config(
@@ -258,6 +265,87 @@ def trace_to_workload(
         shard_index=shard_index,
         num_shards=num_shards,
     )
+
+
+def iter_job_specs(
+    jobs: Iterable[TraceJob],
+    config: Optional[TraceReplayConfig] = None,
+    *,
+    metadata: Optional[dict] = None,
+) -> Iterator[JobSpec]:
+    """Lazily adapt arrival-ordered trace records into engine ``JobSpec``\\ s.
+
+    The streaming twin of :func:`trace_to_workload`'s spec loop: one
+    ``TraceJob`` in, one ``JobSpec`` out, so a million-job trace never has to
+    exist as a spec list.  Specs are byte-identical to the materialised
+    path's — the per-job RNG stream is derived from ``(config.seed, job_id)``
+    alone, and arrivals are rebased so the stream's first job arrives at
+    time zero, exactly as :func:`trace_to_workload` rebases to its ordered
+    first job (callers must therefore feed jobs in ``(arrival_time, job_id)``
+    order; the engine validates the resulting spec order).
+
+    Pass a ``metadata`` dict to also collect each job's
+    :class:`~repro.workload.synthetic.JobMetadata` (O(#jobs) small records,
+    never task payloads) for figure-style breakdowns.
+    """
+    config = config or TraceReplayConfig()
+    base_arrival: Optional[float] = None
+    for job in jobs:
+        if base_arrival is None:
+            base_arrival = job.arrival_time
+        spec, job_metadata = _job_spec_from_trace(
+            job, config, arrival_time=job.arrival_time - base_arrival
+        )
+        if metadata is not None:
+            metadata[spec.job_id] = job_metadata
+        yield spec
+
+
+@dataclass(frozen=True)
+class TraceSpecSource:
+    """A lazy, picklable description of one arrival-window shard's specs.
+
+    Executor run requests carry this instead of a materialised spec list:
+    plain data (a path plus replay coordinates), it crosses the process
+    boundary for free and the *worker* re-opens the trace, skips to its
+    window and feeds :func:`iter_job_specs` straight into the engine's lazy
+    ingestion — no process ever holds the shard's specs at once.
+
+    ``num_shards == 1`` describes the whole trace (the unsharded million-job
+    replay this source exists for).  The trace file must be sorted by
+    ``(arrival_time, job_id)`` — the caller (``runner.replay_stream``)
+    verifies that with the calibration scan before building sources.
+    """
+
+    trace_path: str
+    replay_config: TraceReplayConfig
+    shard_index: int
+    num_shards: int
+    total_jobs: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.shard_index < self.num_shards:
+            raise ValueError("shard_index must lie in [0, num_shards)")
+        if self.total_jobs < self.num_shards:
+            raise ValueError("cannot cut more shards than the trace has jobs")
+
+    @property
+    def num_jobs(self) -> int:
+        """Job count of this shard (same boundaries as :func:`slice_trace`)."""
+        return shard_sizes(self.total_jobs, self.num_shards)[self.shard_index]
+
+    def iter_specs(self) -> Iterator[JobSpec]:
+        """Lazily parse this shard's window and adapt it spec by spec."""
+        sizes = shard_sizes(self.total_jobs, self.num_shards)
+        start = sum(sizes[: self.shard_index])
+        window = islice(iter_trace(self.trace_path), start, start + sizes[self.shard_index])
+        return iter_job_specs(window, self.replay_config)
+
+    def __str__(self) -> str:
+        return (
+            f"trace-shard[{self.shard_index + 1}/{self.num_shards}] "
+            f"of {Path(self.trace_path).name} ({self.num_jobs} jobs)"
+        )
 
 
 def shard_sizes(total_jobs: int, num_shards: int) -> List[int]:
