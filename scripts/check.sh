@@ -9,9 +9,9 @@
 #                 it; locally the subcommand fails fast if it is missing)
 # * bench-smoke — the engine hot-path and trace-replay micro-benchmarks plus
 #                 one cheap figure bench, the warm-up-cache bench and the
-#                 streaming-replay and spec-streaming benches at quick scale;
-#                 refreshes benchmarks/BENCH_engine.json and fails if the
-#                 refresh produced an unreadable file
+#                 streaming-replay, spec-streaming and result-sink benches at
+#                 quick scale; refreshes benchmarks/BENCH_engine.json and
+#                 fails if the refresh produced an unreadable file
 # * bench-gate  — takes the committed BENCH_engine.json (git show HEAD:...)
 #                 as baseline, reruns bench-smoke, fails on a >30%
 #                 calibration-normalised events/second regression at quick
@@ -20,9 +20,10 @@
 #                 sha, normalised events/s) so the perf history accumulates
 #                 instead of keeping only the latest snapshot
 # * replay-determinism — replays traces/facebook_like.jsonl at quick scale
-#                 six ways (batch / --stream / --stream-specs x --workers
-#                 1/4) and fails unless all six printed sha256 metrics
-#                 digests agree
+#                 eight ways (batch / --stream / --stream-specs x --workers
+#                 1/4, plus --sink aggregate legs holding zero JobResults)
+#                 and fails unless all eight printed sha256 metrics digests
+#                 agree
 # * lint        — ruff or flake8 when installed, otherwise a byte-compile
 #                 pass over src/tests/benchmarks/scripts/examples (the
 #                 container ships no linter; do NOT pip install one here)
@@ -60,7 +61,9 @@ run_replay_determinism() {
         "--workers 1 --stream" \
         "--workers 4 --stream" \
         "--workers 1 --stream-specs" \
-        "--workers 4 --stream-specs"
+        "--workers 4 --stream-specs" \
+        "--workers 1 --sink aggregate" \
+        "--workers 4 --stream-specs --sink aggregate"
     do
         echo "replay-determinism: replay $variant"
         # shellcheck disable=SC2086
@@ -75,11 +78,11 @@ run_replay_determinism() {
         digests="$digests$digest"$'\n'
     done
     if [ "$(printf '%s' "$digests" | sort -u | wc -l)" -ne 1 ]; then
-        echo "replay-determinism: FAILED — digests differ across worker/stream variants:" >&2
+        echo "replay-determinism: FAILED — digests differ across worker/stream/sink variants:" >&2
         printf '%s' "$digests" >&2
         return 1
     fi
-    echo "replay-determinism: ok (all six variants agree)"
+    echo "replay-determinism: ok (all eight variants agree)"
 }
 
 run_bench_smoke() {
@@ -89,6 +92,7 @@ run_bench_smoke() {
         benchmarks/bench_warmup_cache.py \
         benchmarks/bench_stream_replay.py \
         benchmarks/bench_stream_specs.py \
+        benchmarks/bench_result_sink.py \
         benchmarks/bench_fig1_deadline_example.py \
         || return $?
     # The JSON merge happens in a pytest sessionfinish hook whose failure

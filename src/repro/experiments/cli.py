@@ -11,6 +11,8 @@ Examples::
     grass-experiments replay --trace big.jsonl --shards 64 --stream \
         --max-resident-shards 2 --workers 4
     grass-experiments replay --trace huge.jsonl --stream-specs
+    grass-experiments replay --trace huge.jsonl --stream-specs --sink aggregate
+    grass-experiments replay --trace big.jsonl --sink jsonl:out/rows
 
 The figure verbs print the text table the corresponding
 :mod:`repro.experiments.figures` function produces; EXPERIMENTS.md records
@@ -32,13 +34,20 @@ holds a one-spec lookahead and evicts finished jobs), so even an unsharded
 million-job replay runs with O(max concurrent jobs) resident state.  Both
 digests are identical to the batch path at the same ``--shards`` count —
 streaming is a memory knob, never a correctness knob.
+
+``--sink`` picks where per-job results go (``repro.simulator.sinks``):
+``retain`` keeps every ``JobResult`` (the default), ``aggregate`` folds each
+result into constant-size mergeable aggregates the moment it is produced —
+combined with ``--stream-specs`` this makes resident memory fully
+independent of trace length — and ``jsonl:DIR`` spills one JSON row per
+result under ``DIR`` for offline analysis.  Like streaming, the sink is a
+memory knob only: table and digest are identical for every kind.
 """
 
 from __future__ import annotations
 
 import argparse
 import hashlib
-import json
 import sys
 import time
 from dataclasses import replace
@@ -60,6 +69,7 @@ from repro.workload.synthetic import (
     BOUND_EXACT,
     BOUND_MIXED,
 )
+from repro.simulator.sinks import SINK_KINDS, SinkFactory, parse_sink_spec
 from repro.workload.trace_replay import TraceReplayConfig
 from repro.workload.traces import TraceFormatError, load_trace
 
@@ -178,6 +188,17 @@ def build_replay_parser() -> argparse.ArgumentParser:
         "arrival-sorted trace)",
     )
     parser.add_argument(
+        "--sink",
+        default="retain",
+        metavar="KIND",
+        help="where per-job results go: 'retain' (default — keep every "
+        "JobResult in memory), 'aggregate' (fold each result into "
+        "constant-size mergeable aggregates on arrival; resident memory "
+        "becomes independent of trace length) or 'jsonl:DIR' (spill one "
+        "JSON row per result under DIR, aggregates in memory); the metrics "
+        "digest and summary table are identical for every kind",
+    )
+    parser.add_argument(
         "--framework",
         default="hadoop",
         help="execution framework profile: hadoop (default) or spark",
@@ -203,27 +224,24 @@ def metrics_digest(comparison: ComparisonResult) -> str:
     Two replays that produce byte-identical metrics — the determinism
     contract of ``--workers`` — print the same digest, so shell scripts can
     compare runs without parsing tables.
+
+    The digest is built from each run's mergeable aggregates: every
+    simulation folds a rolling sha256 over its results' canonical encodings
+    (``repro.simulator.sinks.encode_result``) as they arrive, and this
+    function hashes the policy names plus those per-simulation digests in
+    the deterministic (policy, seed, shard) merge order.  Because *every*
+    sink maintains that rolling digest, ``--sink aggregate`` prints a digest
+    byte-identical to the retain path while holding zero ``JobResult``
+    objects — and the digest stays identical across ``--workers``,
+    ``--stream`` and ``--stream-specs`` at the same shard count, exactly as
+    before.
     """
-    payload = [
-        {
-            "policy": name,
-            "results": [
-                {
-                    "job_id": result.job_id,
-                    "accuracy": result.accuracy,
-                    "duration": result.duration,
-                    "completed": result.completed_input_tasks,
-                    "wasted_work": result.wasted_work,
-                    "speculative_copies": result.speculative_copies,
-                    "met_bound": result.met_bound,
-                }
-                for result in run.results
-            ],
-        }
-        for name, run in comparison.runs.items()
-    ]
-    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    outer = hashlib.sha256()
+    for name, run in comparison.runs.items():
+        outer.update(f"policy:{name}\n".encode("utf-8"))
+        for part in run.aggregates.digest_parts():
+            outer.update(part)
+    return outer.hexdigest()
 
 
 def replay_main(argv: List[str]) -> int:
@@ -253,6 +271,15 @@ def replay_main(argv: List[str]) -> int:
             file=sys.stderr,
         )
         return 2
+    try:
+        sink_factory: SinkFactory = parse_sink_spec(args.sink)
+    except ValueError:
+        print(
+            f"unknown sink {args.sink!r}; expected one of "
+            f"{', '.join(SINK_KINDS)} (jsonl takes a directory: jsonl:PATH)",
+            file=sys.stderr,
+        )
+        return 2
     scale = replace(_SCALES[args.scale](), workers=args.workers)
     replay_config = TraceReplayConfig(
         framework=args.framework, bound_kind=args.bound_kind, seed=args.seed
@@ -270,6 +297,7 @@ def replay_main(argv: List[str]) -> int:
                 workers=args.workers,
                 max_resident_shards=args.max_resident_shards,
                 stream_specs=args.stream_specs,
+                sink=sink_factory,
             )
         except FileNotFoundError:
             print(f"trace file not found: {args.trace}", file=sys.stderr)
@@ -301,6 +329,7 @@ def replay_main(argv: List[str]) -> int:
             scale=scale,
             shards=args.shards,
             workers=args.workers,
+            sink=sink_factory,
         )
         num_jobs = len(trace)
     elapsed = time.time() - started
@@ -322,23 +351,33 @@ def replay_main(argv: List[str]) -> int:
         mode = ""
     print(
         f"Replayed {args.trace}{mode}: {num_jobs} jobs, {args.shards} shard(s), "
-        f"{len(scale.seeds)} seed(s), workers={args.workers}"
+        f"{len(scale.seeds)} seed(s), workers={args.workers}, sink={args.sink}"
     )
     print(header)
     print("-" * len(header))
+    # The table is rendered from each run's StreamingAggregates — identically
+    # maintained by every sink — so the rows (like the digest below) are
+    # byte-identical whether the raw results were retained, folded away or
+    # spilled to disk.
     for name in policies:
-        run = comparison.runs[name]
-        met = sum(1 for result in run.results if result.met_bound)
-        copies = sum(result.speculative_copies for result in run.results)
+        aggregates = comparison.runs[name].aggregates
         accuracy = (
-            f"{run.average_accuracy():.4f}" if run.deadline_results() else "-"
+            f"{aggregates.average_accuracy:.4f}" if aggregates.deadline_jobs else "-"
         )
-        duration = f"{run.average_duration():.2f}" if run.error_results() else "-"
+        duration = (
+            f"{aggregates.average_duration:.2f}" if aggregates.error_jobs else "-"
+        )
         print(
-            f"{name:<22} | {len(run.results):>7} | {accuracy:>23} | "
-            f"{duration:>20} | {met:>9} | {copies:>11}"
+            f"{name:<22} | {aggregates.num_results:>7} | {accuracy:>23} | "
+            f"{duration:>20} | {aggregates.bound_met_jobs:>9} | "
+            f"{aggregates.speculative_copies:>11}"
         )
     print(f"metrics digest: sha256={metrics_digest(comparison)}")
+    if sink_factory.kind == "jsonl":
+        print(
+            f"per-job rows spilled to {sink_factory.jsonl_dir}/"
+            "results-<policy>-seed<seed>-shard<shard>.jsonl"
+        )
     truncated = sum(
         metrics.truncated_jobs
         for run in comparison.runs.values()

@@ -52,6 +52,7 @@ from repro.core.policies.base import SpeculationPolicy
 from repro.experiments.policies import make_policy
 from repro.simulator.engine import Simulation, SimulationConfig
 from repro.simulator.metrics import MetricsCollector
+from repro.simulator.sinks import SinkFactory
 from repro.workload.synthetic import GeneratedWorkload
 
 
@@ -112,6 +113,13 @@ class RunRequest:
     warm_state: Optional[object] = None
     #: Lazy spec source (duck-typed: ``iter_specs()``); see the class docs.
     spec_source: Optional[object] = None
+    #: Which result sink the simulation records into (None = retain all —
+    #: the historical behaviour).  A factory rather than an instance: spill
+    #: sinks hold file handles, and the executing process — worker or
+    #: parent — must build its own.  With a non-retaining factory the
+    #: returned collector carries aggregates only, so the worker ships a
+    #: constant-size payload home instead of one JobResult per job.
+    sink_factory: Optional[SinkFactory] = None
 
     def __post_init__(self) -> None:
         if self.config is None:
@@ -167,12 +175,15 @@ class RunRequest:
         elif self.warmup is not None and self.warmup.job_specs:
             warm_config = self.warmup_config or self.config
             Simulation(warm_config, policy, self.warmup.specs()).run()
+        sink = self.sink_factory.create() if self.sink_factory is not None else None
         if self.spec_source is not None:
             # Lazy path: the spec-source iterator feeds the engine's
             # one-spec-lookahead ingestion; peak resident jobs stays O(max
             # concurrent) end to end.
-            return Simulation(self.config, policy, self.spec_source.iter_specs()).run()
-        return Simulation(self.config, policy, self.workload.specs()).run()
+            return Simulation(
+                self.config, policy, self.spec_source.iter_specs(), sink=sink
+            ).run()
+        return Simulation(self.config, policy, self.workload.specs(), sink=sink).run()
 
 
 def _execute_request(request: RunRequest) -> MetricsCollector:

@@ -143,6 +143,23 @@ class _PlantedStragglerModel(StragglerModel):
         return 1.0
 
 
+def _sole_result(metrics, figure: str, scenario: str):
+    """The single result of a worked-example run, or a *named* failure.
+
+    A scenario that yields no results (e.g. a zero-job workload, or a policy
+    that never finishes the job within the horizon) used to surface as an
+    opaque ``IndexError`` on ``metrics.results[0]``; fail with the figure and
+    scenario in the message instead.
+    """
+    results = metrics.results
+    if not results:
+        raise ValueError(
+            f"{figure}: scenario {scenario!r} produced no job results; "
+            "the worked example needs exactly one finished job"
+        )
+    return results[0]
+
+
 def _worked_example_job(works: Sequence[float], bound: ApproximationBound, slots: int) -> JobSpec:
     return JobSpec(
         job_id=0,
@@ -196,12 +213,15 @@ def figure1_deadline_example() -> FigureResult:
             metrics = _run_worked_example(
                 works, ApproximationBound.with_deadline(deadline), 2, policy, planted
             )
+            sole = _sole_result(
+                metrics, "Figure 1", f"{name} under {deadline_label} deadline"
+            )
             result.rows.append(
                 {
                     "deadline": deadline_label,
                     "policy": name,
-                    "tasks completed": metrics.results[0].completed_input_tasks,
-                    "accuracy": metrics.results[0].accuracy,
+                    "tasks completed": sole.completed_input_tasks,
+                    "accuracy": sole.accuracy,
                 }
             )
     return result
@@ -220,11 +240,14 @@ def figure2_error_example() -> FigureResult:
             metrics = _run_worked_example(
                 works, ApproximationBound.with_error(error), 3, policy, planted
             )
+            sole = _sole_result(
+                metrics, "Figure 2", f"{name} under {error_label} error bound"
+            )
             result.rows.append(
                 {
                     "error bound": error_label,
                     "policy": name,
-                    "duration": metrics.results[0].duration,
+                    "duration": sole.duration,
                 }
             )
     return result
@@ -745,11 +768,14 @@ def trace_vs_synthetic(scale: Optional[ExperimentScale] = None) -> FigureResult:
             ("synthetic", synthetic_comparison),
             ("trace-replay", replay_comparison),
         ):
+            # Job counts and improvements are read off the aggregates view so
+            # the figure works under any result sink, not just the retaining
+            # default (the improvements are aggregate-based too).
             result.rows.append(
                 {
                     "workload": workload,
                     "source": source,
-                    "jobs": len(comparison.runs["grass"].results),
+                    "jobs": comparison.runs["grass"].aggregates.num_results,
                     "accuracy gain (%)": comparison.accuracy_improvement("grass", "late"),
                     "speedup (%)": comparison.duration_improvement("grass", "late"),
                 }

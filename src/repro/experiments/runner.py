@@ -30,6 +30,11 @@ from repro.simulator.engine import SimulationConfig
 from repro.workload.bins import deadline_bin_label, error_bin_label
 from repro.workload.profiles import framework_profile
 from repro.simulator.metrics import MetricsCollector
+from repro.simulator.sinks import (
+    SinkFactory,
+    StreamingAggregates,
+    results_with_bound,
+)
 from repro.workload.synthetic import GeneratedWorkload, WorkloadConfig, generate_workload
 from repro.workload.trace_replay import (
     TraceReplayConfig,
@@ -99,25 +104,44 @@ class ExperimentScale:
 
 @dataclass
 class PolicyRun:
-    """One policy's results over one workload (possibly several seeds)."""
+    """One policy's results over one workload (possibly several seeds).
+
+    ``results`` holds the merged raw records when the runs recorded into a
+    retaining sink and stays empty under ``--sink aggregate``;
+    :attr:`aggregates` is populated either way (both paths fold the same
+    per-simulation chunks in the same merge order), so aggregate consumers
+    — the CLI table, the digest, the overall/per-bin improvements — never
+    need the raw list.
+    """
 
     policy_name: str
     results: List[JobResult] = field(default_factory=list)
     metrics: List[MetricsCollector] = field(default_factory=list)
 
+    @property
+    def aggregates(self) -> StreamingAggregates:
+        """Mergeable aggregate view over this run's per-simulation metrics."""
+        if self.metrics:
+            return StreamingAggregates.merged(m.aggregates for m in self.metrics)
+        return StreamingAggregates.from_results(self.results)
+
     def deadline_results(self) -> List[JobResult]:
-        return [r for r in self.results if r.bound.kind is BoundType.DEADLINE]
+        return results_with_bound(self.results, BoundType.DEADLINE)
 
     def error_results(self) -> List[JobResult]:
-        return [r for r in self.results if r.bound.kind is BoundType.ERROR]
+        return results_with_bound(self.results, BoundType.ERROR)
 
     def average_accuracy(self, results: Optional[Iterable[JobResult]] = None) -> float:
+        if results is None and not self.results:
+            return self.aggregates.average_accuracy
         pool = list(results) if results is not None else self.deadline_results()
         if not pool:
             return 0.0
         return mean([r.accuracy for r in pool])
 
     def average_duration(self, results: Optional[Iterable[JobResult]] = None) -> float:
+        if results is None and not self.results:
+            return self.aggregates.average_duration
         pool = list(results) if results is not None else self.error_results()
         if not pool:
             return 0.0
@@ -191,15 +215,22 @@ class ComparisonResult:
     # -- overall improvements --------------------------------------------------------
 
     def accuracy_improvement(self, policy: str, baseline: str) -> float:
-        """Figure 5 style: % improvement in average accuracy of deadline jobs."""
+        """Figure 5 style: % improvement in average accuracy of deadline jobs.
+
+        Answered from the runs' aggregates (as is every aggregate-only
+        query on this class), so the comparison works — and reports the
+        same numbers — under any result sink.
+        """
         return improvement_in_accuracy(
-            self.runs[baseline].average_accuracy(), self.runs[policy].average_accuracy()
+            self.runs[baseline].aggregates.average_accuracy,
+            self.runs[policy].aggregates.average_accuracy,
         )
 
     def duration_improvement(self, policy: str, baseline: str) -> float:
         """Figure 7 style: % reduction in average duration of error jobs."""
         return improvement_in_duration(
-            self.runs[baseline].average_duration(), self.runs[policy].average_duration()
+            self.runs[baseline].aggregates.average_duration,
+            self.runs[policy].aggregates.average_duration,
         )
 
     # -- grouped improvements ----------------------------------------------------------
@@ -211,42 +242,33 @@ class ComparisonResult:
         return grouped
 
     def accuracy_improvement_by_bin(self, policy: str, baseline: str) -> Dict[str, float]:
-        """Improvement per job-size bin (small / medium / large)."""
+        """Improvement per job-size bin (small / medium / large).
+
+        Answered from the runs' :class:`StreamingAggregates` (per-bin
+        accuracy stats of deadline-bound jobs), so the breakdown works under
+        any result sink — raw results are never touched.
+        """
         improvements: Dict[str, float] = {}
-        base_groups = self._grouped(
-            self.runs[baseline].deadline_results(), lambda r: r.job_bin
-        )
-        pol_groups = self._grouped(
-            self.runs[policy].deadline_results(), lambda r: r.job_bin
-        )
+        base_bins = self.runs[baseline].aggregates.accuracy_by_bin()
+        pol_bins = self.runs[policy].aggregates.accuracy_by_bin()
         for bin_name in ("small", "medium", "large"):
-            base = base_groups.get(bin_name, [])
-            pol = pol_groups.get(bin_name, [])
-            if not base or not pol:
+            base = base_bins.get(bin_name)
+            pol = pol_bins.get(bin_name)
+            if base is None or pol is None or not base.count or not pol.count:
                 continue
-            improvements[bin_name] = improvement_in_accuracy(
-                self.runs[baseline].average_accuracy(base),
-                self.runs[policy].average_accuracy(pol),
-            )
+            improvements[bin_name] = improvement_in_accuracy(base.mean, pol.mean)
         return improvements
 
     def duration_improvement_by_bin(self, policy: str, baseline: str) -> Dict[str, float]:
         improvements: Dict[str, float] = {}
-        base_groups = self._grouped(
-            self.runs[baseline].error_results(), lambda r: r.job_bin
-        )
-        pol_groups = self._grouped(
-            self.runs[policy].error_results(), lambda r: r.job_bin
-        )
+        base_bins = self.runs[baseline].aggregates.duration_by_bin()
+        pol_bins = self.runs[policy].aggregates.duration_by_bin()
         for bin_name in ("small", "medium", "large"):
-            base = base_groups.get(bin_name, [])
-            pol = pol_groups.get(bin_name, [])
-            if not base or not pol:
+            base = base_bins.get(bin_name)
+            pol = pol_bins.get(bin_name)
+            if base is None or pol is None or not base.count or not pol.count:
                 continue
-            improvements[bin_name] = improvement_in_duration(
-                self.runs[baseline].average_duration(base),
-                self.runs[policy].average_duration(pol),
-            )
+            improvements[bin_name] = improvement_in_duration(base.mean, pol.mean)
         return improvements
 
     def accuracy_improvement_by_deadline_bin(
@@ -304,6 +326,7 @@ def replay(
     scale: Optional[ExperimentScale] = None,
     shards: int = 1,
     workers: Optional[int] = None,
+    sink: Optional[SinkFactory] = None,
 ) -> ComparisonResult:
     """Replay a trace under the named policies and collect their results.
 
@@ -322,6 +345,12 @@ def replay(
     ``scale`` contributes the cluster size, seeds and default worker count;
     its workload-synthesis knobs (``num_jobs``, ``size_scale``, ...) are
     ignored because the trace decides the workload.
+
+    ``sink`` picks where each simulation's per-job results go (default:
+    retain them all).  With a non-retaining sink the merged comparison
+    carries aggregates only — ``runs[name].aggregates`` — and its
+    ``results`` lists stay empty; the digest and the summary statistics are
+    identical either way.
     """
     scale = scale or ExperimentScale()
     if shards < 1:
@@ -329,6 +358,7 @@ def replay(
     if workers is None:
         workers = scale.workers
     replay_config = replay_config or TraceReplayConfig()
+    sink = sink or SinkFactory()
 
     full = trace_to_workload(trace, replay_config)
     if shards == 1:
@@ -355,10 +385,11 @@ def replay(
             workload=shard.workload,
             config=shard_config(seed, needs_oracle_estimates(name)),
             policy_name=name,
+            sink_factory=sink.with_tag(f"{name}-seed{seed}-shard{shard_index}"),
         )
         for name in policy_names
         for seed in scale.seeds
-        for shard in shard_workloads
+        for shard_index, shard in enumerate(shard_workloads)
     ]
     all_metrics = ParallelExecutor(workers=workers).run(requests)
 
@@ -370,7 +401,8 @@ def replay(
             for _shard in shard_workloads:
                 metrics = all_metrics[index]
                 index += 1
-                run.results.extend(metrics.results)
+                if metrics.retains_results:
+                    run.results.extend(metrics.results)
                 run.metrics.append(metrics)
         comparison.runs[name] = run
     return comparison
@@ -426,6 +458,7 @@ def replay_stream(
     workers: Optional[int] = None,
     max_resident_shards: int = 2,
     stream_specs: bool = False,
+    sink: Optional[SinkFactory] = None,
 ) -> StreamedReplay:
     """Replay a JSONL trace as a bounded-memory streaming pipeline.
 
@@ -481,7 +514,15 @@ def replay_stream(
 
     The returned comparison's ``workload`` carries the merged per-job
     metadata but no job specs: materialising them is what this function
-    exists to avoid.
+    exists to avoid.  With a non-retaining sink even the metadata merge is
+    skipped (its only consumers slice raw results by job), leaving nothing
+    in the parent that grows with the trace.
+
+    ``sink`` picks the per-simulation result sink (see :func:`replay`).
+    ``stream_specs`` + a non-retaining sink is the fully streaming
+    configuration: O(1) in specs, shards *and* results — no process ever
+    holds a spec list, a shard workload or a JobResult, so resident memory
+    is independent of trace length end to end.
 
     Streaming requires the trace file to be sorted by
     ``(arrival_time, job_id)`` — the order batch replay sorts into — and
@@ -495,6 +536,7 @@ def replay_stream(
     if workers is None:
         workers = scale.workers
     replay_config = replay_config or TraceReplayConfig()
+    sink = sink or SinkFactory()
 
     scan = scan_trace(trace_path)
     if not scan.arrival_sorted:
@@ -521,6 +563,11 @@ def replay_stream(
     }
 
     residency = _ResidencyTracker()
+    # Per-job metadata only serves consumers that slice *raw results* by job
+    # (the figure breakdowns); with a non-retaining sink there is nothing to
+    # slice, and skipping the merge removes the last parent-side O(trace)
+    # structure — resident memory becomes independent of trace length.
+    collect_metadata = sink.retains_results
     merged_metadata: Dict[int, object] = {}
 
     def request_stream():
@@ -542,6 +589,9 @@ def replay_stream(
                             spec_source=source,
                             config=configs[(name, seed)],
                             policy_name=name,
+                            sink_factory=sink.with_tag(
+                                f"{name}-seed{seed}-shard{shard_index}"
+                            ),
                         )
             return
         shard_stream = iter_trace_shards(
@@ -558,13 +608,17 @@ def replay_stream(
             )
             del shard_jobs
             residency.built()
-            merged_metadata.update(shard.workload.metadata)
+            if collect_metadata:
+                merged_metadata.update(shard.workload.metadata)
             for name in policy_names:
                 for seed in scale.seeds:
                     yield RunRequest(
                         workload=shard.workload,
                         config=configs[(name, seed)],
                         policy_name=name,
+                        sink_factory=sink.with_tag(
+                            f"{name}-seed{seed}-shard{shard_index}"
+                        ),
                     )
             # Drop our reference before the consumer pulls the next shard's
             # first request, so "resident" counts real objects, not leaks.
@@ -592,7 +646,7 @@ def replay_stream(
         peak_resident_jobs = max(peak_resident_jobs, metrics.peak_resident_jobs)
         if not stream_specs and remainder == per_shard - 1:
             residency.freed()
-    if stream_specs:
+    if stream_specs and collect_metadata:
         # The workers never ship metadata home, so collect it here with one
         # streaming spec-construction pass: O(#jobs) small metadata records,
         # never a spec list (each constructed spec is discarded immediately).
@@ -622,7 +676,8 @@ def replay_stream(
         for seed in scale.seeds:
             for shard_index in range(num_shards):
                 metrics = collected[(name, seed, shard_index)]
-                run.results.extend(metrics.results)
+                if metrics.retains_results:
+                    run.results.extend(metrics.results)
                 run.metrics.append(metrics)
         comparison.runs[name] = run
     return StreamedReplay(
@@ -643,6 +698,7 @@ def compare_policies(
     warmup: bool = True,
     workers: Optional[int] = None,
     warm_cache: bool = True,
+    sink: Optional[SinkFactory] = None,
 ) -> ComparisonResult:
     """Run the named policies over one workload and collect their results.
 
@@ -665,10 +721,15 @@ def compare_policies(
     re-simulates the warm-up.  Both paths produce byte-identical metrics —
     the cache is purely a wall-clock optimisation.  Stateless policies are
     never warmed: warm-up cannot affect a policy without cross-job state.
+
+    ``sink`` picks the per-simulation result sink (see :func:`replay`);
+    figure producers that slice raw results by workload metadata need the
+    retaining default.
     """
     scale = scale or ExperimentScale()
     if workers is None:
         workers = scale.workers
+    sink = sink or SinkFactory()
     generator_config = replace(
         workload_config,
         num_jobs=scale.num_jobs,
@@ -716,6 +777,7 @@ def compare_policies(
                 workload, scale, seed, needs_oracle_estimates(name)
             ),
             policy_name=name,
+            sink_factory=sink.with_tag(f"{name}-seed{seed}"),
             **warm_fields(name),
         )
         for name in policy_names
@@ -730,7 +792,8 @@ def compare_policies(
         for _seed in scale.seeds:
             metrics = all_metrics[index]
             index += 1
-            run.results.extend(metrics.results)
+            if metrics.retains_results:
+                run.results.extend(metrics.results)
             run.metrics.append(metrics)
         comparison.runs[name] = run
     return comparison

@@ -10,18 +10,32 @@ from repro.simulator.engine import Simulation, SimulationConfig
 from repro.simulator.events import Event, EventKind, EventQueue
 from repro.simulator.machine import Machine
 from repro.simulator.metrics import MetricsCollector
+from repro.simulator.sinks import (
+    AggregateSink,
+    JsonlSpillSink,
+    ResultSink,
+    RetainAllSink,
+    SinkFactory,
+    StreamingAggregates,
+)
 from repro.simulator.stragglers import StragglerConfig, StragglerModel
 
 __all__ = [
+    "AggregateSink",
     "Cluster",
     "ClusterConfig",
     "Event",
     "EventKind",
     "EventQueue",
+    "JsonlSpillSink",
     "Machine",
     "MetricsCollector",
+    "ResultSink",
+    "RetainAllSink",
     "Simulation",
     "SimulationConfig",
+    "SinkFactory",
     "StragglerConfig",
     "StragglerModel",
+    "StreamingAggregates",
 ]

@@ -70,6 +70,7 @@ from repro.core.task import Task, TaskCopy
 from repro.simulator.cluster import Cluster, ClusterConfig
 from repro.simulator.events import Event, EventKind, EventQueue
 from repro.simulator.metrics import MetricsCollector
+from repro.simulator.sinks import ResultSink, RetainAllSink
 from repro.simulator.stragglers import StragglerConfig, StragglerModel
 from repro.utils.rng import RngStream
 from repro.utils.stats import median
@@ -102,12 +103,17 @@ class Simulation:
         config: SimulationConfig,
         policy: SpeculationPolicy,
         job_specs: Union[Sequence[JobSpec], Iterable[JobSpec]],
+        sink: Optional[ResultSink] = None,
     ) -> None:
         self.config = config
         self.policy = policy
         self.cluster = Cluster(config.cluster)
         self.stragglers = StragglerModel(config.stragglers, seed=config.seed)
-        self.metrics = MetricsCollector()
+        # Where per-job results go: retained (default), folded into streaming
+        # aggregates, or spilled to disk — see ``repro.simulator.sinks``.
+        # With a non-retaining sink the collector holds zero JobResults, so
+        # a streaming replay's memory is independent of trace length.
+        self.metrics = MetricsCollector(sink=sink if sink is not None else RetainAllSink())
         self._events = EventQueue()
         self._now = 0.0
         self._rng = RngStream(config.seed, "engine")
@@ -194,6 +200,9 @@ class Simulation:
             self._finish_job(self._jobs[job_id])
         self.metrics.simulated_time = self._now
         self.metrics.peak_resident_jobs = self.peak_resident_jobs
+        # Let the sink finalise (a spill sink flushes and closes its file);
+        # results recorded after this point would be a bug, not a feature.
+        self.metrics.sink.finish()
         return self.metrics
 
     def _count_truncated_jobs(self) -> int:
@@ -535,6 +544,7 @@ def run_simulation(
     job_specs: Union[Sequence[JobSpec], Iterable[JobSpec]],
     policy: SpeculationPolicy,
     config: Optional[SimulationConfig] = None,
+    sink: Optional[ResultSink] = None,
 ) -> MetricsCollector:
     """Convenience wrapper: run a workload under a policy and return metrics."""
-    return Simulation(config or SimulationConfig(), policy, job_specs).run()
+    return Simulation(config or SimulationConfig(), policy, job_specs, sink=sink).run()

@@ -1,9 +1,14 @@
 """Metrics collection for simulation runs.
 
-The collector accumulates per-job results plus cluster-level counters and
-exposes the aggregates the paper reports: average accuracy of deadline-bound
-jobs, average duration of error-bound jobs, breakdowns by job bin and by
-bound value.
+The collector accumulates cluster-level counters and delegates per-job
+results to a pluggable :class:`~repro.simulator.sinks.ResultSink` (retain
+everything, fold into streaming aggregates, or spill to JSONL — see
+``repro.simulator.sinks``).  It exposes the aggregates the paper reports:
+average accuracy of deadline-bound jobs, average duration of error-bound
+jobs, breakdowns by job bin and by bound value.  Aggregate accessors answer
+from the sink's :class:`~repro.simulator.sinks.StreamingAggregates` whenever
+the raw results are absent, so an aggregate-only collector supports the same
+reporting surface as a retaining one.
 """
 
 from __future__ import annotations
@@ -13,14 +18,20 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.bounds import BoundType
 from repro.core.job import JobResult
+from repro.simulator.sinks import (
+    ResultSink,
+    RetainAllSink,
+    StreamingAggregates,
+    results_with_bound,
+)
 from repro.utils.stats import OnlineStats, mean
 
 
 @dataclass
 class MetricsCollector:
-    """Accumulates :class:`JobResult` records and cluster counters."""
+    """Accumulates :class:`JobResult` records (via a sink) and cluster counters."""
 
-    results: List[JobResult] = field(default_factory=list)
+    sink: ResultSink = field(default_factory=RetainAllSink)
     total_copies_launched: int = 0
     speculative_copies_launched: int = 0
     wasted_slot_seconds: float = 0.0
@@ -36,7 +47,7 @@ class MetricsCollector:
     # -- recording -------------------------------------------------------------
 
     def add_result(self, result: JobResult) -> None:
-        self.results.append(result)
+        self.sink.record(result)
 
     def record_copy_launch(self, speculative: bool) -> None:
         self.total_copies_launched += 1
@@ -49,22 +60,55 @@ class MetricsCollector:
     def record_utilization(self, utilization: float) -> None:
         self.utilization_stats.add(utilization)
 
+    # -- result access ----------------------------------------------------------
+
+    @property
+    def retains_results(self) -> bool:
+        return self.sink.retains_results
+
+    @property
+    def results(self) -> List[JobResult]:
+        """The retained raw results; raises when the sink dropped them.
+
+        Raising (instead of silently returning an empty list) turns "this
+        code path still assumes retained results" into an actionable error
+        under ``--sink aggregate`` rather than a wrong 0.0 in a report.
+        """
+        retained = self.sink.results
+        if retained is None:
+            raise RuntimeError(
+                f"per-job results were not retained ({type(self.sink).__name__}); "
+                "use the aggregate accessors or run with the retain sink"
+            )
+        return retained
+
+    @property
+    def aggregates(self) -> StreamingAggregates:
+        """This run's results as a mergeable constant-size aggregate view."""
+        return self.sink.aggregates
+
     # -- filters ----------------------------------------------------------------
 
     def deadline_results(self) -> List[JobResult]:
-        return [r for r in self.results if r.bound.kind is BoundType.DEADLINE]
+        return results_with_bound(self.results, BoundType.DEADLINE)
 
     def error_results(self) -> List[JobResult]:
-        return [r for r in self.results if r.bound.kind is BoundType.ERROR]
+        return results_with_bound(self.results, BoundType.ERROR)
 
     def exact_results(self) -> List[JobResult]:
         return [r for r in self.results if r.bound.is_exact]
 
     def by_bin(self, results: Optional[Sequence[JobResult]] = None) -> Dict[str, List[JobResult]]:
-        """Group results into the paper's job-size bins."""
+        """Group results into the paper's job-size bins.
+
+        The paper's bins are small/medium/large (always present, possibly
+        empty); a result carrying any *other* bin label — e.g. a caller's
+        custom :class:`JobResult` stand-in — gets its own group instead of
+        the bare ``KeyError`` this used to raise.
+        """
         grouped: Dict[str, List[JobResult]] = {"small": [], "medium": [], "large": []}
         for result in results if results is not None else self.results:
-            grouped[result.job_bin].append(result)
+            grouped.setdefault(result.job_bin, []).append(result)
         return grouped
 
     def filter(self, predicate: Callable[[JobResult], bool]) -> List[JobResult]:
@@ -74,37 +118,39 @@ class MetricsCollector:
 
     def average_accuracy(self, results: Optional[Sequence[JobResult]] = None) -> float:
         """Mean accuracy of deadline-bound jobs (the paper's headline metric)."""
-        pool = list(results) if results is not None else self.deadline_results()
+        if results is None:
+            return self.aggregates.average_accuracy
+        pool = list(results)
         if not pool:
             return 0.0
         return mean([result.accuracy for result in pool])
 
     def average_duration(self, results: Optional[Sequence[JobResult]] = None) -> float:
         """Mean duration of error-bound jobs."""
-        pool = list(results) if results is not None else self.error_results()
+        if results is None:
+            return self.aggregates.average_duration
+        pool = list(results)
         if not pool:
             return 0.0
         return mean([result.duration for result in pool])
 
     def accuracy_by_bin(self) -> Dict[str, float]:
-        grouped = self.by_bin(self.deadline_results())
+        by_bin = self.aggregates.accuracy_by_bin()
         return {
-            bin_name: self.average_accuracy(results) if results else 0.0
-            for bin_name, results in grouped.items()
+            bin_name: by_bin[bin_name].mean if bin_name in by_bin else 0.0
+            for bin_name in ("small", "medium", "large")
         }
 
     def duration_by_bin(self) -> Dict[str, float]:
-        grouped = self.by_bin(self.error_results())
+        by_bin = self.aggregates.duration_by_bin()
         return {
-            bin_name: self.average_duration(results) if results else 0.0
-            for bin_name, results in grouped.items()
+            bin_name: by_bin[bin_name].mean if bin_name in by_bin else 0.0
+            for bin_name in ("small", "medium", "large")
         }
 
     def bound_met_fraction(self) -> float:
         """Fraction of jobs that met their bound (error jobs) or finished fully."""
-        if not self.results:
-            return 0.0
-        return sum(1 for result in self.results if result.met_bound) / len(self.results)
+        return self.aggregates.bound_met_fraction
 
     def speculation_ratio(self) -> float:
         """Speculative copies as a fraction of all copies launched."""
@@ -114,13 +160,14 @@ class MetricsCollector:
 
     def summary(self) -> Dict[str, float]:
         """A compact dictionary used by the CLI and the experiment reports."""
+        aggregates = self.aggregates
         return {
-            "jobs": float(len(self.results)),
-            "deadline_jobs": float(len(self.deadline_results())),
-            "error_jobs": float(len(self.error_results())),
-            "avg_accuracy": self.average_accuracy(),
-            "avg_duration": self.average_duration(),
-            "bound_met_fraction": self.bound_met_fraction(),
+            "jobs": float(aggregates.num_results),
+            "deadline_jobs": float(aggregates.deadline_jobs),
+            "error_jobs": float(aggregates.error_jobs),
+            "avg_accuracy": aggregates.average_accuracy,
+            "avg_duration": aggregates.average_duration,
+            "bound_met_fraction": aggregates.bound_met_fraction,
             "speculation_ratio": self.speculation_ratio(),
             "wasted_slot_seconds": self.wasted_slot_seconds,
             "mean_utilization": self.utilization_stats.mean,

@@ -102,6 +102,32 @@ class OnlineStats:
         for sample in samples:
             self.add(sample)
 
+    def merge(self, other: "OnlineStats") -> None:
+        """Fold another accumulator in (Chan et al.'s parallel update).
+
+        The result is what ``add`` would have produced had the two sample
+        streams been concatenated, up to floating-point rounding; the
+        streaming metrics sinks keep per-simulation accumulators exactly for
+        this and combine them in a fixed merge order, so the combined value
+        is deterministic.
+        """
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self._min = other._min
+            self._max = other._max
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._mean += delta * other.count / total
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        self.count = total
+
     @property
     def mean(self) -> float:
         return self._mean if self.count else 0.0

@@ -128,6 +128,16 @@ class TestFigures:
         assert len(fig2.rows) == 4
         assert all(row["duration"] > 0 for row in fig2.rows)
 
+    def test_worked_example_guard_names_figure_and_scenario(self):
+        # A scenario with no results used to crash with an opaque IndexError
+        # on metrics.results[0]; the guard must name the figure and scenario.
+        from repro.experiments.figures import _sole_result
+        from repro.simulator.metrics import MetricsCollector
+
+        empty = MetricsCollector()
+        with pytest.raises(ValueError, match=r"Figure 1.*gs under tight"):
+            _sole_result(empty, "Figure 1", "gs under tight deadline")
+
     def test_figure1_ras_wins_loose_deadline(self):
         rows = figure1_deadline_example().rows
         loose = {row["policy"]: row["tasks completed"] for row in rows if "loose" in row["deadline"]}
