@@ -44,3 +44,39 @@ def test_engine_hotpath_events_per_second(benchmark, policy_name):
         policy_name,
         lambda: Simulation(sim_config, make_policy(policy_name), workload.specs()),
     )
+
+
+def _profile_main() -> None:
+    """``python benchmarks/bench_engine_hotpath.py --profile [policy]``.
+
+    Runs the same simulation the benchmark times under cProfile and dumps
+    the top 25 functions by cumulative time, so hot-path regressions can be
+    attributed without setting up a separate profiling harness.  The scale
+    is taken from ``GRASS_BENCH_SCALE`` exactly like the pytest run.
+    """
+    import argparse
+    import cProfile
+    import pstats
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", action="store_true", required=True)
+    parser.add_argument("policy", nargs="?", default="gs", choices=POLICIES)
+    args = parser.parse_args()
+
+    scale = bench_scale()
+    workload, sim_config = _build_workload_and_config(scale)
+    simulation = Simulation(sim_config, make_policy(args.policy), workload.specs())
+    profiler = cProfile.Profile()
+    profiler.enable()
+    simulation.run()
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(25)
+    print(
+        f"profiled policy={args.policy} jobs={scale.num_jobs} "
+        f"events={simulation.events_processed}"
+    )
+
+
+if __name__ == "__main__":
+    _profile_main()

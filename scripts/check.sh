@@ -13,12 +13,14 @@
 #                 quick scale; refreshes benchmarks/BENCH_engine.json and
 #                 fails if the refresh produced an unreadable file
 # * bench-gate  — takes the committed BENCH_engine.json (git show HEAD:...)
-#                 as baseline, reruns bench-smoke, fails on a >30%
+#                 as baseline, reruns bench-smoke plus the engine hot-path
+#                 bench at default scale, fails on a >30%
 #                 calibration-normalised events/second regression at quick
-#                 scale (scripts/bench_compare.py), and appends the fresh
-#                 run to benchmarks/BENCH_trajectory.jsonl (timestamp, git
-#                 sha, normalised events/s) so the perf history accumulates
-#                 instead of keeping only the latest snapshot
+#                 OR default scale (scripts/bench_compare.py), and appends
+#                 the fresh run to benchmarks/BENCH_trajectory.jsonl
+#                 (timestamp, git sha, normalised events/s) so the perf
+#                 history accumulates instead of keeping only the latest
+#                 snapshot
 # * replay-determinism — replays traces/facebook_like.jsonl at quick scale
 #                 eight ways (batch / --stream / --stream-specs x --workers
 #                 1/4, plus --sink aggregate legs holding zero JobResults)
@@ -107,6 +109,15 @@ sys.exit(0 if isinstance(records, list) and records else 'empty $BENCH_JSON')
     echo "bench records written to $BENCH_JSON"
 }
 
+run_bench_default() {
+    # The engine hot-path bench at default scale: the headline single-core
+    # throughput number.  Quick-scale runs are too short (~0.1s) to catch a
+    # hot-path regression reliably, so the gate also measures the ~0.5s
+    # default-scale runs and holds them to the same threshold.
+    GRASS_BENCH_SCALE=default python -m pytest -q \
+        benchmarks/bench_engine_hotpath.py
+}
+
 run_bench_gate() {
     local baseline
     baseline="$(mktemp)"
@@ -122,10 +133,16 @@ run_bench_gate() {
         cp "$BENCH_JSON" "$baseline"
     fi
     local status=0
-    if run_bench_smoke; then
+    if run_bench_smoke && run_bench_default; then
         python scripts/bench_compare.py \
             --baseline "$baseline" --candidate "$BENCH_JSON" \
-            --max-regression 0.30 --scale quick \
+            --max-regression 0.30 --scale quick || status=$?
+        # Gate the default-scale hot-path records too, and append the
+        # trajectory line once (it carries every throughput record in the
+        # candidate regardless of scale).
+        python scripts/bench_compare.py \
+            --baseline "$baseline" --candidate "$BENCH_JSON" \
+            --max-regression 0.30 --scale default \
             --append-trajectory "$BENCH_TRAJECTORY" || status=$?
     else
         status=$?

@@ -12,10 +12,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.bounds import ApproximationBound
 from repro.core.task import Task, TaskObserver, TaskSpec
+from repro.utils.stats import median
 
 
 @dataclass(frozen=True)
@@ -40,6 +42,17 @@ class JobPhaseSpec:
     @property
     def total_work(self) -> float:
         return float(sum(self.task_works))
+
+    @cached_property
+    def median_work(self) -> float:
+        """Median task work, computed once per spec.
+
+        Deadline apportioning (``Simulation._set_input_deadline``) and the
+        workload generator's ideal-duration calibration both need it; sorting
+        ``task_works`` on every deadline-bound arrival was measurable on the
+        engine's hot path.
+        """
+        return median(self.task_works)
 
 
 @dataclass(frozen=True)
@@ -99,14 +112,8 @@ class JobSpec:
             raise ValueError("slots must be positive")
         total = 0.0
         for phase in self.phases:
-            works = sorted(phase.task_works)
-            mid = len(works) // 2
-            if len(works) % 2 == 1:
-                median_work = works[mid]
-            else:
-                median_work = 0.5 * (works[mid - 1] + works[mid])
             waves = math.ceil(phase.task_count / slots)
-            total += waves * median_work
+            total += waves * phase.median_work
         return total
 
 
@@ -178,6 +185,17 @@ class Job(TaskObserver):
         self._unfinished_by_phase: List[Dict[int, Task]] = []
         self._phase_cursor: int = 0
         self._running_copy_total: int = 0
+        # Completions needed before each phase unblocks the next: the bound's
+        # required fraction for the input phase, every task for intermediate
+        # phases.  Both are fixed at admission, and precomputing them keeps
+        # ``current_phase`` — called on every scheduling query — a plain
+        # counter comparison.
+        self._required_by_phase: List[int] = [
+            spec.bound.required_tasks(spec.num_input_tasks)
+            if phase.phase_index == 0
+            else phase.task_count
+            for phase in spec.phases
+        ]
         self._build_tasks()
 
     def _build_tasks(self) -> None:
@@ -287,7 +305,7 @@ class Job(TaskObserver):
 
     def required_input_tasks(self) -> int:
         """Input tasks the job must finish to satisfy its bound."""
-        return self.bound.required_tasks(self.spec.num_input_tasks)
+        return self._required_by_phase[0]
 
     def accuracy(self) -> float:
         """Fraction of input tasks completed — the paper's accuracy metric."""
@@ -303,14 +321,14 @@ class Job(TaskObserver):
         required number of tasks (all tasks for intermediate phases; the
         bound-determined fraction for the input phase).
         """
-        while self._phase_cursor < self.dag_length:
-            required = None
-            if self._phase_cursor == 0:
-                required = self.required_input_tasks()
-            if not self.phase_complete(self._phase_cursor, required):
-                break
-            self._phase_cursor += 1
-        return self._phase_cursor
+        cursor = self._phase_cursor
+        dag_length = self.spec.dag_length
+        completed = self._completed_by_phase
+        required = self._required_by_phase
+        while cursor < dag_length and completed[cursor] >= required[cursor]:
+            cursor += 1
+        self._phase_cursor = cursor
+        return cursor
 
     def schedulable_tasks(self, now: float) -> List[Task]:
         """Tasks the scheduler may act on right now (current phase only)."""

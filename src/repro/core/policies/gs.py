@@ -20,12 +20,16 @@ from typing import List, Optional
 
 from repro.core.policies.base import (
     SchedulingDecision,
+    SchedulingIndex,
     SchedulingView,
     SpeculationPolicy,
     TaskSnapshot,
     deadline_candidates,
     deadline_fallback,
     error_candidates,
+    index_deadline_fallback,
+    index_error_window,
+    index_pending_tail,
     make_decision,
 )
 
@@ -34,6 +38,7 @@ class GreedySpeculative(SpeculationPolicy):
     """The GS policy of §3.1."""
 
     name = "gs"
+    stateless_choose = True
 
     def __init__(self, max_copies_per_task: int = 4) -> None:
         if max_copies_per_task < 1:
@@ -73,7 +78,76 @@ class GreedySpeculative(SpeculationPolicy):
 
         return min(candidates, key=sort_key)
 
+    # -- index-backed selection ---------------------------------------------------
+    #
+    # The fast paths below compute the same minima as the list-based stages
+    # above without materialising or sorting snapshots: pending tasks come
+    # pre-sorted by ``(tnew, task_id)`` in the index, so the pending minimum
+    # (or the error window's pending maximum) is a list head (or a bisect),
+    # and only the running tasks — bounded by the job's allocation — are
+    # scanned.  Tie-breaking keys are identical to the legacy stages.
+
+    def _fast_deadline(
+        self, view: SchedulingView, sched: SchedulingIndex
+    ) -> Optional[TaskSnapshot]:
+        remaining = view.remaining_deadline
+        cap = self.max_copies_per_task
+        snaps = sched.snaps
+        pending = sched.pending_sorted
+        best: Optional[TaskSnapshot] = None
+        best_key = None
+        if pending:
+            tnew, task_id = pending[0][:2]
+            if remaining is None or tnew <= remaining:
+                best = snaps[task_id]
+                best_key = (tnew, False, task_id)
+        for task_id in sched.running_ids:
+            snap = snaps[task_id]
+            tnew = snap.tnew
+            if snap.copies >= cap or not tnew < snap.trem:
+                continue
+            if remaining is not None and tnew > remaining:
+                continue
+            key = (tnew, True, task_id)
+            if best_key is None or key < best_key:
+                best = snap
+                best_key = key
+        if best is not None:
+            return best
+        return index_deadline_fallback(sched, cap)
+
+    def _fast_error(
+        self, view: SchedulingView, sched: SchedulingIndex
+    ) -> Optional[TaskSnapshot]:
+        needed = view.remaining_required_tasks
+        if needed <= 0:
+            needed = len(sched.snaps)
+        k_p, included = index_error_window(sched, needed)
+        snaps = sched.snaps
+        best: Optional[TaskSnapshot] = None
+        best_key = None
+        tail = index_pending_tail(sched, k_p)
+        if tail is not None:
+            tnew, task_id = tail[:2]
+            best = snaps[task_id]
+            best_key = (-tnew, False, task_id)
+        cap = self.max_copies_per_task
+        for task_id in included:
+            snap = snaps[task_id]
+            if snap.copies >= cap or not snap.tnew < snap.trem:
+                continue
+            key = (-snap.trem, True, task_id)
+            if best_key is None or key < best_key:
+                best = snap
+                best_key = key
+        return best
+
     def choose_task(self, view: SchedulingView) -> Optional[SchedulingDecision]:
+        sched = view.sched
+        if sched is not None:
+            if view.bound.is_deadline:
+                return make_decision(self._fast_deadline(view, sched))
+            return make_decision(self._fast_error(view, sched))
         if view.bound.is_deadline:
             return make_decision(self._choose_deadline(view))
         return make_decision(self._choose_error(view))

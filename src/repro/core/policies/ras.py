@@ -19,12 +19,16 @@ from typing import List, Optional
 
 from repro.core.policies.base import (
     SchedulingDecision,
+    SchedulingIndex,
     SchedulingView,
     SpeculationPolicy,
     TaskSnapshot,
     deadline_candidates,
     deadline_fallback,
     error_candidates,
+    index_deadline_fallback,
+    index_error_window,
+    index_pending_tail,
     make_decision,
 )
 
@@ -33,6 +37,7 @@ class ResourceAwareSpeculative(SpeculationPolicy):
     """The RAS policy of §3.1."""
 
     name = "ras"
+    stateless_choose = True
 
     def __init__(self, max_copies_per_task: int = 4) -> None:
         if max_copies_per_task < 1:
@@ -75,7 +80,78 @@ class ResourceAwareSpeculative(SpeculationPolicy):
         # Default: highest expected duration among the earliest contributors.
         return min(pending, key=lambda snap: (-snap.tnew, snap.task_id))
 
+    # -- index-backed selection ---------------------------------------------------
+    #
+    # Same minima as the list-based stages, served from the index: the
+    # savings scan touches only running tasks (bounded by the allocation)
+    # and the pending default is the sorted list's head (deadline) or the
+    # error window's bisected tail.
+
+    def _fast_deadline(
+        self, view: SchedulingView, sched: SchedulingIndex
+    ) -> Optional[TaskSnapshot]:
+        remaining = view.remaining_deadline
+        cap = self.max_copies_per_task
+        snaps = sched.snaps
+        best: Optional[TaskSnapshot] = None
+        best_key = None
+        for task_id in sched.running_ids:
+            snap = snaps[task_id]
+            if snap.copies >= cap:
+                continue
+            saving = snap.copies * snap.trem - (snap.copies + 1) * snap.tnew
+            if saving <= 0:
+                continue
+            if remaining is not None and snap.tnew > remaining:
+                continue
+            key = (-saving, task_id)
+            if best_key is None or key < best_key:
+                best = snap
+                best_key = key
+        if best is not None:
+            return best
+        pending = sched.pending_sorted
+        if pending:
+            tnew, task_id = pending[0][:2]
+            if remaining is None or tnew <= remaining:
+                return snaps[task_id]
+        return index_deadline_fallback(sched, cap)
+
+    def _fast_error(
+        self, view: SchedulingView, sched: SchedulingIndex
+    ) -> Optional[TaskSnapshot]:
+        needed = view.remaining_required_tasks
+        if needed <= 0:
+            needed = len(sched.snaps)
+        k_p, included = index_error_window(sched, needed)
+        snaps = sched.snaps
+        cap = self.max_copies_per_task
+        best: Optional[TaskSnapshot] = None
+        best_key = None
+        for task_id in included:
+            snap = snaps[task_id]
+            if snap.copies >= cap:
+                continue
+            saving = snap.copies * snap.trem - (snap.copies + 1) * snap.tnew
+            if saving <= 0:
+                continue
+            key = (-saving, task_id)
+            if best_key is None or key < best_key:
+                best = snap
+                best_key = key
+        if best is not None:
+            return best
+        tail = index_pending_tail(sched, k_p)
+        if tail is None:
+            return None
+        return snaps[tail[1]]
+
     def choose_task(self, view: SchedulingView) -> Optional[SchedulingDecision]:
+        sched = view.sched
+        if sched is not None:
+            if view.bound.is_deadline:
+                return make_decision(self._fast_deadline(view, sched))
+            return make_decision(self._fast_error(view, sched))
         if view.bound.is_deadline:
             return make_decision(self._choose_deadline(view))
         return make_decision(self._choose_error(view))

@@ -30,7 +30,7 @@ class CopyState(Enum):
     KILLED = "killed"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TaskSpec:
     """Static description of a task, produced by the workload generator.
 
@@ -52,7 +52,7 @@ class TaskSpec:
             raise ValueError("phase_index must be non-negative")
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskCopy:
     """A single execution attempt of a task on a specific machine slot."""
 
@@ -135,7 +135,7 @@ class TaskObserver:
         """The task was abandoned before completing."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Task:
     """Runtime state of a task: its spec plus every copy launched for it."""
 
@@ -151,12 +151,20 @@ class Task:
         default_factory=dict, init=False, repr=False, compare=False
     )
     _num_running: int = field(default=0, init=False, repr=False, compare=False)
+    # Maintained flat list of the running copies, in launch order.  Copies
+    # only stop running in bulk (``complete`` / ``abandon`` kill every
+    # running copy), so the list is an append-then-clear structure and always
+    # equals ``[c for c in copies if c.is_running()]`` without the rescan.
+    _running: List[TaskCopy] = field(
+        default_factory=list, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         for copy in self.copies:
             self._copies_by_id[copy.copy_id] = copy
             if copy.is_running():
                 self._num_running += 1
+                self._running.append(copy)
 
     # -- identity ------------------------------------------------------------
 
@@ -180,7 +188,8 @@ class Task:
 
     @property
     def running_copies(self) -> List[TaskCopy]:
-        return [copy for copy in self.copies if copy.is_running()]
+        """The running copies in launch order (maintained; do not mutate)."""
+        return self._running
 
     @property
     def running_copy_count(self) -> int:
@@ -219,6 +228,7 @@ class Task:
         self._copies_by_id[copy.copy_id] = copy
         if copy.is_running():
             self._num_running += 1
+            self._running.append(copy)
         if self.first_start_time is None:
             self.first_start_time = copy.start_time
         self.state = TaskState.RUNNING
@@ -264,6 +274,7 @@ class Task:
                 killed.append(copy)
         stopped = self._num_running
         self._num_running = 0
+        self._running.clear()
         self.state = TaskState.COMPLETED
         self.completion_time = now
         if self.observer is not None:
@@ -282,6 +293,7 @@ class Task:
                 killed.append(copy)
         stopped = self._num_running
         self._num_running = 0
+        self._running.clear()
         if not self.is_completed:
             self.state = TaskState.ABANDONED
             if self.observer is not None:

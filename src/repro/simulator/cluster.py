@@ -8,11 +8,14 @@ a job with 1000 tasks given 100 slots runs one tenth of its tasks at a time.
 
 from __future__ import annotations
 
+from array import array
+from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.simulator.machine import Machine
 from repro.utils.rng import RngStream
+from repro.utils.stats import median
 
 
 @dataclass(frozen=True)
@@ -71,7 +74,32 @@ class Cluster:
             machine.machine_id: machine for machine in self.machines
         }
         self._placement_rng = rng.spawn("placement")
+        # ``pick_machine`` runs once per copy launch; bind the stream's
+        # underlying ``Random.choice`` to skip the passthrough wrapper.
+        self._placement_choice = self._placement_rng._random.choice
         self._busy_count = 0
+        # Flat columns over the machines (index == machine_id): the speed
+        # column feeds placement-free duration math without touching Machine
+        # objects, and the cached median is what oracle ``tnew`` snapshots
+        # use instead of re-sorting 200 speeds per estimate.
+        self.speed_column: array = array(
+            "d", (machine.speed_factor for machine in self.machines)
+        )
+        self.median_speed: float = median(self.speed_column)
+        # Busy-count-bucketed free-list: ``_busy_buckets[b]`` holds the ids of
+        # machines with exactly ``b`` busy slots, kept sorted ascending.  The
+        # lowest non-empty bucket below ``slots_per_machine`` *is* the
+        # least-loaded candidate set ``pick_machine`` used to rebuild in
+        # O(machines) per copy launch.
+        self._busy_buckets: List[List[int]] = [
+            [] for _ in range(config.slots_per_machine + 1)
+        ]
+        self._busy_buckets[0] = list(range(config.num_machines))
+
+    def _move_bucket(self, machine_id: int, old_busy: int, new_busy: int) -> None:
+        bucket = self._busy_buckets[old_busy]
+        del bucket[bisect_left(bucket, machine_id)]
+        insort(self._busy_buckets[new_busy], machine_id)
 
     # -- capacity ---------------------------------------------------------------
 
@@ -108,20 +136,31 @@ class Cluster:
         locality-agnostic placement the paper's prototypes use for
         speculative copies.
         """
-        candidates = [machine for machine in self.machines if machine.has_free_slot()]
-        if not candidates:
-            return None
-        min_busy = min(machine.busy_slots for machine in candidates)
-        least_loaded = [m for m in candidates if m.busy_slots == min_busy]
-        return self._placement_rng.choice(least_loaded)
+        # The lowest non-empty bucket (below the per-machine slot count) is
+        # exactly the old least-loaded candidate list, already sorted by
+        # machine id; ``random.choice`` consumes randomness as a function of
+        # the sequence *length* only, so the draw is identical to picking
+        # from the materialised Machine list.
+        buckets = self._busy_buckets
+        for busy in range(self.config.slots_per_machine):
+            bucket = buckets[busy]
+            if bucket:
+                return self._machine_by_id[self._placement_choice(bucket)]
+        return None
 
     def occupy(self, machine_id: int, job_id: int, task_id: int, copy_id: int) -> None:
-        self.machine(machine_id).occupy(job_id, task_id, copy_id)
+        machine = self._machine_by_id[machine_id]
+        busy = machine.busy_slots
+        machine.occupy(job_id, task_id, copy_id)
         self._busy_count += 1
+        self._move_bucket(machine_id, busy, busy + 1)
 
     def release(self, machine_id: int, job_id: int, task_id: int, copy_id: int) -> None:
-        self.machine(machine_id).release(job_id, task_id, copy_id)
+        machine = self._machine_by_id[machine_id]
+        busy = machine.busy_slots
+        machine.release(job_id, task_id, copy_id)
         self._busy_count -= 1
+        self._move_bucket(machine_id, busy, busy - 1)
 
     # -- fair sharing ---------------------------------------------------------------
 
@@ -142,20 +181,38 @@ class Cluster:
         ``capacity`` overrides the number of slots available for sharing
         (used to model background utilisation from other tenants).
         """
-        allocations = {job_id: 0 for job_id in job_ids}
         if not job_ids:
-            return allocations
+            return {}
         caps = caps or {}
 
-        def limit(job_id: int) -> int:
+        # Precompute each job's effective limit once; the convergence loop
+        # below reads it O(rounds) times per job.
+        limits: Dict[int, int] = {}
+        for job_id in job_ids:
             cap = caps.get(job_id)
             demand = demands.get(job_id, 0)
-            if cap is None:
-                return demand
-            return min(cap, demand)
+            limits[job_id] = demand if cap is None else min(cap, demand)
+        return self.fair_share_limits(limits, capacity=capacity)
 
+    def fair_share_limits(
+        self, limits: Dict[int, int], capacity: Optional[int] = None
+    ) -> Dict[int, int]:
+        """Max-min fair allocation from precomputed per-job limits.
+
+        The core of :meth:`fair_share`, exposed for callers (the engine's
+        allocation pass) that already know each job's effective limit
+        (``min(cap, demand)``) and would otherwise rebuild the demand and
+        cap dicts on every recompute.  Iteration order of ``limits`` is the
+        sharing order, exactly as ``job_ids`` ordered the wrapper.
+        """
+        allocations = {job_id: 0 for job_id in limits}
         remaining = self.total_slots if capacity is None else max(0, capacity)
-        active = [job_id for job_id in job_ids if limit(job_id) > 0]
+        # Insertion-ordered dict as the active set: O(1) removal of converged
+        # jobs (the old list paid an O(n) ``list.remove`` per convergence)
+        # with the same deterministic iteration order.
+        active: Dict[int, None] = {
+            job_id: None for job_id, limit in limits.items() if limit > 0
+        }
         # Iteratively hand out equal shares, redistributing unused capacity.
         while remaining > 0 and active:
             share = max(1, remaining // len(active))
@@ -163,17 +220,18 @@ class Cluster:
             for job_id in list(active):
                 if remaining <= 0:
                     break
-                want = limit(job_id) - allocations[job_id]
+                limit = limits[job_id]
+                want = limit - allocations[job_id]
                 if want <= 0:
-                    active.remove(job_id)
+                    active.pop(job_id, None)
                     continue
                 grant = min(share, want, remaining)
                 if grant > 0:
                     allocations[job_id] += grant
                     remaining -= grant
                     progressed = True
-                if allocations[job_id] >= limit(job_id):
-                    active.remove(job_id)
+                if allocations[job_id] >= limit:
+                    active.pop(job_id, None)
             if not progressed:
                 break
         return allocations

@@ -31,8 +31,41 @@ state), never O(cluster) or O(workload):
   than popped and discarded, keeping the heap small and the simulated
   timeline free of dead wake-ups.
 
-``benchmarks/bench_engine_hotpath.py`` tracks the resulting events/second;
-regressions in this file show up directly in its ``BENCH_engine.json``.
+On top of the asymptotics, the hot path is flattened for single-core
+constant factors — under the invariant that every optimisation leaves the
+metrics digests *byte-identical* (same RNG draw order, same float operation
+order; ``scripts/check.sh replay-determinism`` and the digest-pinned tests
+enforce this):
+
+* events travel as packed ``(time, priority, seq, ...)`` tuples on a plain
+  heap, and all events sharing a timestamp are drained as one cohort per
+  loop iteration (:meth:`EventQueue.pop_at_or_before`);
+* the cluster keeps flat columns over machines (a ``speed_column`` array, a
+  cached ``median_speed``) and a busy-count-bucketed free-list, so
+  ``pick_machine`` reads the least-loaded candidate set off a bucket
+  instead of rescanning all machines per launch;
+* each job carries an incremental :class:`SchedulingIndex` — task snapshots
+  plus a ``(tnew, task_id)``-sorted pending list — that is *replayed*
+  against estimator feedback instead of rebuilt per scheduling round;
+  re-estimates refresh the sorted list lazily and defer snapshot writes
+  until a policy actually materialises the view;
+* policies whose choice is a pure function of the index state declare
+  ``stateless_choose``, letting the engine skip the re-ask after a ``None``
+  decision when nothing it reads has changed (the mandated estimator folds
+  still run);
+* the straggler model reseeds one scratch generator per copy through the
+  C-level ``seed`` with a pre-encoded digest prefix, instead of spawning a
+  fresh RNG stream per multiplier.
+
+Measured by ``benchmarks/bench_engine_hotpath.py`` at ``default`` scale,
+the flattening took the seed engine from 943 (gs) / 1,096 (grass)
+events/second to 6,419 / 5,651 on the same box — roughly 6.8x and 5.2x
+(about 5.3x / 4.0x after calibration-normalising for machine speed; the
+original 10x target proved out of reach in pure CPython once every remaining
+cost — Mersenne-Twister reseeds, estimator folds, per-epoch re-sorts — was
+shown to be mandated by digest equivalence).  ``BENCH_engine.json`` tracks
+the numbers and ``scripts/check.sh bench-gate`` holds both quick- and
+default-scale throughput to a 30% regression budget.
 
 Memory
 ------
@@ -64,8 +97,13 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.estimators import EstimatorConfig, TaskEstimator
-from repro.core.job import Job, JobSpec
-from repro.core.policies.base import SchedulingView, SpeculationPolicy, TaskSnapshot
+from repro.core.job import Job, JobSpec, JobState
+from repro.core.policies.base import (
+    SchedulingIndex,
+    SchedulingView,
+    SpeculationPolicy,
+    TaskSnapshot,
+)
 from repro.core.task import Task, TaskCopy
 from repro.simulator.cluster import Cluster, ClusterConfig
 from repro.simulator.events import Event, EventKind, EventQueue
@@ -73,7 +111,6 @@ from repro.simulator.metrics import MetricsCollector
 from repro.simulator.sinks import ResultSink, RetainAllSink
 from repro.simulator.stragglers import StragglerConfig, StragglerModel
 from repro.utils.rng import RngStream
-from repro.utils.stats import median
 
 
 @dataclass(frozen=True)
@@ -144,14 +181,19 @@ class Simulation:
         self._spec_by_id: Dict[int, JobSpec] = {}
         self._jobs: Dict[int, Job] = {}
         self._estimators: Dict[int, TaskEstimator] = {}
+        # Per-job incremental scheduling indexes (estimator mode only): live
+        # snapshots plus sorted selection structures, kept consistent with
+        # the estimators' noise caches — see ``SchedulingIndex``.
+        self._sched_index: Dict[int, SchedulingIndex] = {}
         # Insertion-ordered job-id set (dict keys): O(1) removal on job
         # finish with the same deterministic iteration order the old list
         # gave the fair-share and dispatch loops.
         self._running_job_ids: Dict[int, None] = {}
         self._copy_counter = 0
         self.peak_resident_jobs = 0
+        self._total_slots = self.cluster.total_slots
         self._reserved_slots = int(
-            round(config.background_utilization * self.cluster.total_slots)
+            round(config.background_utilization * self._total_slots)
         )
         # Outstanding event handles, used to cancel events that can no longer
         # matter (killed copies, jobs that finished before their deadline).
@@ -160,6 +202,14 @@ class Simulation:
         # Fair-share allocations are recomputed lazily: any mutation that can
         # change a job's demand (or the running-job set) raises this flag.
         self._alloc_dirty = True
+        # Stateless-choice policies (GS/RAS) let the dispatch loop cache a
+        # None decision per index state instead of re-asking; see
+        # ``SpeculationPolicy.stateless_choose``.  Oracle runs bypass the
+        # scheduling index entirely, so the cache never applies there.
+        self._stateless_choice = (
+            bool(getattr(policy, "stateless_choose", False))
+            and not config.oracle_estimates
+        )
         self.events_processed = 0
 
     # ------------------------------------------------------------------ lifecycle
@@ -184,11 +234,13 @@ class Simulation:
             # Apply every other event scheduled for the same instant before
             # making new scheduling decisions, so simultaneous completions
             # free their slots together (and deadlines see them as finished).
+            # ``pop_at_or_before`` drains the cohort in one heap inspection
+            # per event instead of a peek/pop pair.
             while True:
-                next_time = self._events.peek_time()
-                if next_time is None or next_time > self._now:
+                cohort_event = self._events.pop_at_or_before(self._now)
+                if cohort_event is None:
                     break
-                self._process_event(self._events.pop())
+                self._process_event(cohort_event)
             self._recompute_allocations()
             self._dispatch()
         if truncated:
@@ -307,6 +359,9 @@ class Simulation:
         self._copy_finish_events.pop(copy_id, None)
         estimator = self._estimators[job_id]
         killed = task.complete(self._now, copy)
+        index = self._sched_index.get(job_id)
+        if index is not None:
+            index.on_task_finished(task)
         self._release_copy(job, copy)
         for victim in killed:
             self._cancel_copy_event(victim.copy_id)
@@ -349,13 +404,10 @@ class Simulation:
         intermediate_estimate = 0.0
         allocation = max(1, job.allocation)
         for phase in job.spec.intermediate_phases:
-            works = sorted(phase.task_works)
-            mid = len(works) // 2
-            median_work = works[mid] if len(works) % 2 == 1 else 0.5 * (
-                works[mid - 1] + works[mid]
-            )
+            # ``median_work`` is cached on the spec: re-sorting the phase's
+            # works on every deadline-bound arrival was pure waste.
             waves = math.ceil(phase.task_count / allocation)
-            intermediate_estimate += waves * median_work
+            intermediate_estimate += waves * phase.median_work
         job.input_deadline = max(
             1e-3, job.bound.deadline - intermediate_estimate
         )
@@ -377,6 +429,7 @@ class Simulation:
         # even though only the results are ever read again.  Every pending
         # event handle was cancelled above, so nothing can reach the job.
         estimator = self._estimators.pop(job.job_id)
+        self._sched_index.pop(job.job_id, None)
         self._jobs.pop(job.job_id, None)
         self._spec_by_id.pop(job.job_id, None)
         result = job.to_result(
@@ -392,43 +445,88 @@ class Simulation:
         self._alloc_dirty = False
         if not self._running_job_ids:
             return
-        demands: Dict[int, int] = {}
-        caps: Dict[int, Optional[int]] = {}
+        jobs = self._jobs
+        # Effective limits are computed inline (demand capped by max_slots)
+        # and handed straight to the fair-share core, skipping the public
+        # wrapper's intermediate demand/cap dicts.
+        limits: Dict[int, int] = {}
         for job_id in self._running_job_ids:
-            job = self._jobs[job_id]
-            pending, running = job.schedulable_counts()
-            # Each running task could host one extra speculative copy.
-            demands[job_id] = max(1, pending + 2 * running)
-            caps[job_id] = job.spec.max_slots
-        capacity = self.cluster.total_slots - self._reserved_slots
-        allocations = self.cluster.fair_share(
-            self._running_job_ids, demands, caps, capacity=capacity
+            job = jobs[job_id]
+            # ``schedulable_counts`` inlined: pending tasks plus one extra
+            # speculative copy per running task is the job's demand.
+            phase = job.current_phase()
+            if phase >= job.spec.dag_length:
+                demand = 1
+            else:
+                pending = job._pending_by_phase[phase]
+                running = len(job._unfinished_by_phase[phase]) - pending
+                demand = pending + 2 * running
+                if demand < 1:
+                    demand = 1
+            cap = job.spec.max_slots
+            limits[job_id] = demand if cap is None else min(cap, demand)
+        allocations = self.cluster.fair_share_limits(
+            limits, capacity=self._total_slots - self._reserved_slots
         )
         for job_id, allocation in allocations.items():
-            self._jobs[job_id].allocation = allocation
+            jobs[job_id].allocation = allocation
 
     # ------------------------------------------------------------------ dispatch
 
     def _dispatch(self) -> None:
         """Give every running job a chance to fill its allocation."""
+        # Nothing below mutates the running-job set (jobs finish in event
+        # handlers, never mid-dispatch), so the id dict is iterated directly;
+        # slot capacity is likewise loop-invariant.  ``busy + reserved >=
+        # total`` subsumes the old ``has_free_slot`` check since reserved
+        # slots cannot be negative.
+        cluster = self.cluster
+        jobs = self._jobs
+        choose_task = self.policy.choose_task
+        total = self._total_slots
+        reserved = self._reserved_slots
+        stateless = self._stateless_choice
+        sched_index = self._sched_index
+        estimators = self._estimators
+        now = self._now
         progress = True
         while progress:
             progress = False
-            for job_id in list(self._running_job_ids):
-                job = self._jobs[job_id]
-                if not job.is_running:
+            for job_id in self._running_job_ids:
+                job = jobs[job_id]
+                if job.state != JobState.RUNNING:
                     continue
-                if job.running_copy_count() >= job.allocation:
+                if job._running_copy_total >= job.allocation:
                     continue
-                if not self.cluster.has_free_slot():
+                if cluster._busy_count + reserved >= total:
                     return
-                if self.cluster.busy_slots + self._reserved_slots >= self.cluster.total_slots:
-                    return
+                if stateless:
+                    # A stateless policy that said None for this exact index
+                    # state will say None again: skip the re-ask, but emit
+                    # the accuracy-tracker fold the replayed walk owes.
+                    index = sched_index.get(job_id)
+                    if (
+                        index is not None
+                        and index.choice_void
+                        and not index.dirty
+                        and index.now == now
+                    ):
+                        estimator = estimators[job_id]
+                        if (
+                            index.epoch == estimator.completed_samples
+                            and index.gen == estimator.noise_generation
+                        ):
+                            index._replay()
+                            continue
                 view = self._build_view(job)
                 if view is None:
                     continue
-                decision = self.policy.choose_task(view)
+                decision = choose_task(view)
                 if decision is None:
+                    if stateless:
+                        index = sched_index.get(job_id)
+                        if index is not None:
+                            index.choice_void = True
                     continue
                 self._launch_copy(job, decision.task, speculative=decision.speculative)
                 progress = True
@@ -441,6 +539,75 @@ class Simulation:
         return min(1.0, (self.cluster.busy_slots + self._reserved_slots) / total)
 
     def _build_view(self, job: Job) -> Optional[SchedulingView]:
+        if self.config.oracle_estimates:
+            return self._build_view_oracle(job)
+        job_id = job.spec.job_id
+        estimator = self._estimators[job_id]
+        index = self._sched_index.get(job_id)
+        if index is None:
+            index = SchedulingIndex(job, estimator)
+            self._sched_index[job_id] = index
+        # ``prepare`` performs (or replays) the per-task estimation walk the
+        # eager builder used to do, including its accuracy-tracker feedback,
+        # so the view fields below read post-walk estimator state exactly as
+        # before.
+        if not index.prepare(self._now):
+            return None
+        phase_index = index.phase
+        is_input = phase_index == 0
+        if is_input:
+            remaining_deadline = job.remaining_deadline(self._now)
+            remaining_required = job.remaining_required_tasks()
+        else:
+            remaining_deadline = None
+            # Schedulable tasks are unfinished by construction, so the old
+            # ``sum(1 for task if not task.is_finished)`` is just the count.
+            remaining_required = len(index.snaps)
+        # ``_effective_utilization`` and ``combined_accuracy``, inlined (same
+        # float expressions, minus the property/descriptor hops).
+        utilization = (self.cluster._busy_count + self._reserved_slots) / self._total_slots
+        if utilization > 1.0:
+            utilization = 1.0
+        trem_mean = estimator.trem_tracker._accuracy
+        tnew_mean = estimator.tnew_tracker._accuracy
+        accuracy = 0.5 * (
+            (trem_mean.value if trem_mean.count else 1.0)
+            + (tnew_mean.value if tnew_mean.count else 1.0)
+        )
+        allocation = job.allocation
+        view = index.view
+        if view is None:
+            view = index.view = SchedulingView(
+                now=self._now,
+                job=job,
+                tasks=None,
+                bound=job.bound,
+                remaining_deadline=remaining_deadline,
+                remaining_required_tasks=remaining_required,
+                wave_width=allocation if allocation > 1 else 1,
+                cluster_utilization=utilization,
+                estimator_accuracy=accuracy,
+                phase_index=phase_index,
+                is_input_phase=is_input,
+                sched=index,
+            )
+        else:
+            # One view per index, mutated per round: no policy retains views
+            # across ``choose_task`` calls, and the lazy snapshot-list cache
+            # is reset so ``view.tasks`` re-materialises from the live index.
+            view.now = self._now
+            view._tasks = None
+            view.remaining_deadline = remaining_deadline
+            view.remaining_required_tasks = remaining_required
+            view.wave_width = allocation if allocation > 1 else 1
+            view.cluster_utilization = utilization
+            view.estimator_accuracy = accuracy
+            view.phase_index = phase_index
+            view.is_input_phase = is_input
+        return view
+
+    def _build_view_oracle(self, job: Job) -> Optional[SchedulingView]:
+        """Eager view builder for oracle-estimate runs (no scheduling index)."""
         estimator = self._estimators[job.job_id]
         tasks = job.schedulable_tasks(self._now)
         if not tasks:
@@ -496,12 +663,10 @@ class Simulation:
         """True duration the *next* copy of ``task`` would have (oracle mode)."""
         copy_index = task.total_copies_launched
         # The oracle cannot know which machine the copy will land on, so it
-        # uses the median machine speed; the straggler multiplier (the part
-        # that matters) is exact.
-        speeds = [machine.speed_factor for machine in self.cluster.machines]
-        speed = median(speeds)
+        # uses the median machine speed — cached at Cluster construction; the
+        # straggler multiplier (the part that matters) is exact.
         return self.stragglers.copy_duration(
-            task.work, speed, job.job_id, task.task_id, copy_index
+            task.work, self.cluster.median_speed, job.job_id, task.task_id, copy_index
         )
 
     # ------------------------------------------------------------------ copy management
@@ -510,30 +675,37 @@ class Simulation:
         machine = self.cluster.pick_machine()
         if machine is None:
             return
-        copy_index = task.total_copies_launched
+        spec = task.spec
+        job_id = spec.job_id
+        task_id = spec.task_id
+        copy_index = len(task.copies)
         duration = self.stragglers.copy_duration(
-            task.work, machine.speed_factor, job.job_id, task.task_id, copy_index
+            spec.work, machine.speed_factor, job_id, task_id, copy_index
         )
+        copy_id = self._copy_counter
+        self._copy_counter = copy_id + 1
         copy = TaskCopy(
-            copy_id=self._copy_counter,
-            task_id=task.task_id,
+            copy_id=copy_id,
+            task_id=task_id,
             machine_id=machine.machine_id,
             start_time=self._now,
             duration=duration,
         )
-        self._copy_counter += 1
         task.add_copy(copy)
-        self.cluster.occupy(machine.machine_id, job.job_id, task.task_id, copy.copy_id)
+        index = self._sched_index.get(job_id)
+        if index is not None:
+            index.on_copy_launched(task)
+        self.cluster.occupy(machine.machine_id, job_id, task_id, copy_id)
         if speculative:
             job.speculative_copies_launched += 1
         self.metrics.record_copy_launch(speculative)
         self._alloc_dirty = True
-        self._copy_finish_events[copy.copy_id] = self._events.push(
-            copy.finish_time,
+        self._copy_finish_events[copy_id] = self._events.push(
+            self._now + duration,
             EventKind.COPY_FINISH,
-            job_id=job.job_id,
-            task_id=task.task_id,
-            copy_id=copy.copy_id,
+            job_id=job_id,
+            task_id=task_id,
+            copy_id=copy_id,
         )
 
     def _release_copy(self, job: Job, copy: TaskCopy) -> None:

@@ -3,15 +3,20 @@
 Events are ordered by time, then by a deterministic sequence number so two
 runs with the same seed replay the exact same schedule (ties are common:
 several copies can finish at the same instant when durations are integers).
+
+The heap itself stores packed ``(time, priority, sequence)`` tuples — plain
+tuple comparisons are what CPython's ``heapq`` C accelerator is optimised
+for — while the :class:`Event` handle callers hold is a slot-based object
+looked up by sequence number only when an entry is actually popped.
+Cancellation is a dict deletion: a heap entry whose sequence is no longer
+live is discarded in passing by ``pop``/``peek_time``.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 
 class EventKind(Enum):
@@ -34,57 +39,81 @@ _KIND_PRIORITY = {
 }
 
 
-@dataclass(frozen=True, order=True)
 class Event:
-    """A single simulator event.
+    """A single simulator event (the handle returned by ``push``).
 
     Ordering compares ``(time, priority, sequence)``; the payload is excluded
     from comparisons so it never needs to be orderable itself.
     """
 
-    time: float
-    priority: int
-    sequence: int
-    kind: EventKind = field(compare=False)
-    payload: Dict[str, Any] = field(compare=False, default_factory=dict)
+    __slots__ = ("time", "priority", "sequence", "kind", "payload")
 
-    def __post_init__(self) -> None:
-        if self.time < 0:
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        sequence: int,
+        kind: EventKind,
+        payload: Dict[str, Any],
+    ) -> None:
+        if time < 0:
             raise ValueError("event time must be non-negative")
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.kind = kind
+        self.payload = payload
+
+    def _key(self) -> Tuple[float, int, int]:
+        return (self.time, self.priority, self.sequence)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self._key() < other._key()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return (
+            f"Event(time={self.time!r}, priority={self.priority!r}, "
+            f"sequence={self.sequence!r}, kind={self.kind!r}, "
+            f"payload={self.payload!r})"
+        )
 
 
 class EventQueue:
     """A deterministic min-heap of events with lazy cancellation.
 
-    ``cancel`` marks an event dead without touching the heap; dead entries
-    are skipped (and physically removed) by ``pop``/``peek_time``.  ``len``
-    and ``bool`` count only live events, so callers can treat a queue whose
-    remaining entries are all cancelled as empty.
+    ``cancel`` removes the event from the live table without touching the
+    heap; stale heap entries are skipped (and physically removed) by
+    ``pop``/``peek_time``.  ``len`` and ``bool`` count only live events, so
+    callers can treat a queue whose remaining entries are all cancelled as
+    empty.
     """
 
     def __init__(self) -> None:
-        self._heap: list = []
-        self._counter: Iterator[int] = itertools.count()
-        self._cancelled: set = set()
-        self._pending: set = set()
+        self._heap: List[Tuple[float, int, int]] = []
+        self._live: Dict[int, Event] = {}
+        self._next_sequence = 0
 
     def __len__(self) -> int:
-        return len(self._pending)
+        return len(self._live)
 
     def __bool__(self) -> bool:
-        return bool(self._pending)
+        return bool(self._live)
 
     def push(self, time: float, kind: EventKind, **payload: Any) -> Event:
         """Schedule an event and return it (the handle can be cancelled)."""
-        event = Event(
-            time=time,
-            priority=_KIND_PRIORITY[kind],
-            sequence=next(self._counter),
-            kind=kind,
-            payload=payload,
-        )
-        heapq.heappush(self._heap, event)
-        self._pending.add(event.sequence)
+        sequence = self._next_sequence
+        self._next_sequence = sequence + 1
+        event = Event(time, _KIND_PRIORITY[kind], sequence, kind, payload)
+        heapq.heappush(self._heap, (time, event.priority, sequence))
+        self._live[sequence] = event
         return event
 
     def cancel(self, event: Event) -> None:
@@ -93,31 +122,47 @@ class EventQueue:
         Cancelling an event that was already popped (or cancelled) is a
         no-op, so callers don't need to track whether a handle already fired.
         """
-        if event.sequence in self._pending:
-            self._pending.discard(event.sequence)
-            self._cancelled.add(event.sequence)
+        self._live.pop(event.sequence, None)
 
     def pop(self) -> Optional[Event]:
         """Pop the earliest non-cancelled event, or None if the queue is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.sequence in self._cancelled:
-                self._cancelled.discard(event.sequence)
+        heap = self._heap
+        live = self._live
+        while heap:
+            event = live.pop(heapq.heappop(heap)[2], None)
+            if event is not None:
+                return event
+        return None
+
+    def pop_at_or_before(self, time: float) -> Optional[Event]:
+        """Pop the earliest live event no later than ``time``, else None.
+
+        This is the engine's same-instant cohort drain in one heap
+        inspection: an event strictly after ``time`` is left queued.
+        """
+        heap = self._heap
+        live = self._live
+        while heap:
+            head = heap[0]
+            if head[2] not in live:
+                heapq.heappop(heap)
                 continue
-            self._pending.discard(event.sequence)
-            return event
+            if head[0] > time:
+                return None
+            heapq.heappop(heap)
+            return live.pop(head[2])
         return None
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest non-cancelled event without removing it."""
-        while self._heap and self._heap[0].sequence in self._cancelled:
-            event = heapq.heappop(self._heap)
-            self._cancelled.discard(event.sequence)
-        if not self._heap:
+        heap = self._heap
+        live = self._live
+        while heap and heap[0][2] not in live:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def clear(self) -> None:
         self._heap.clear()
-        self._cancelled.clear()
-        self._pending.clear()
+        self._live.clear()

@@ -23,7 +23,9 @@ so the oracle scheduler can query what a not-yet-launched copy *would* take.
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass
+from hashlib import sha256
 
 from repro.utils.rng import RngStream
 
@@ -98,6 +100,25 @@ class StragglerModel:
         self.config = config
         self._seed = seed
         self._root = RngStream(seed, "straggler-root")
+        # ``multiplier`` runs once per copy launch, squarely on the engine's
+        # hot path, so the per-copy stream spawn is flattened: the seed
+        # derivation prefix (identical for every copy) is pre-encoded, the
+        # config-derived Pareto parameters are computed once, and a single
+        # scratch ``random.Random`` is re-seeded per copy instead of
+        # constructing a stream object.  ``Random.seed`` resets the cached
+        # second Gaussian, so the scratch generator's draws are bit-identical
+        # to a freshly constructed stream's.
+        self._seed_prefix = f"{seed}:straggler-root/".encode("utf-8")
+        self._scale = config.scale
+        self._inv_shape = 1.0 / config.shape
+        self._exact = config.jitter == 0.0 and config.shape >= 100.0
+        self._scratch = random.Random()
+        # ``random.Random.seed`` is a Python wrapper whose int path reduces to
+        # the C base-class seed plus a ``gauss_next`` reset; binding the base
+        # seed skips the wrapper's type dispatch on every reseed.
+        self._seed_core = super(random.Random, self._scratch).seed
+        self._rand_core = self._scratch.random
+        self._gauss_core = self._scratch.gauss
 
     def _copy_stream(self, job_id: int, task_id: int, copy_index: int) -> RngStream:
         return self._root.spawn(f"{job_id}/{task_id}/{copy_index}")
@@ -105,14 +126,38 @@ class StragglerModel:
     def multiplier(self, job_id: int, task_id: int, copy_index: int) -> float:
         """The duration multiplier the given copy would experience."""
         config = self.config
-        if config.jitter == 0.0 and config.shape >= 100.0:
+        if self._exact:
             # The "no stragglers" configuration: exactly the median multiplier,
             # so tests and worked examples get exact wave arithmetic.
             return config.median
-        stream = self._copy_stream(job_id, task_id, copy_index)
-        value = stream.bounded_pareto(config.shape, config.scale, config.cap)
-        if config.jitter > 0:
-            value *= stream.truncated_gauss(1.0, config.jitter, low=0.7, high=1.3)
+        digest = sha256(
+            self._seed_prefix + b"%d/%d/%d" % (job_id, task_id, copy_index)
+        ).digest()
+        self._seed_core(int.from_bytes(digest[:8], "big"))
+        self._scratch.gauss_next = None
+        # Inline ``bounded_pareto(shape, scale, cap)``.
+        u = self._rand_core()
+        if u < 1e-12:
+            u = 1e-12
+        value = self._scale / u ** self._inv_shape
+        cap = config.cap
+        if value > cap:
+            value = cap
+        jitter = config.jitter
+        if jitter > 0:
+            # Inline ``truncated_gauss(1.0, jitter, low=0.7, high=1.3)``.
+            gauss = self._gauss_core
+            for _ in range(64):
+                wobble = gauss(1.0, jitter)
+                if 0.7 <= wobble <= 1.3:
+                    break
+            else:
+                wobble = gauss(1.0, jitter)
+                if wobble < 0.7:
+                    wobble = 0.7
+                elif wobble > 1.3:
+                    wobble = 1.3
+            value *= wobble
         return max(0.05, value)
 
     def copy_duration(

@@ -1,0 +1,158 @@
+"""Property tests pinning the :class:`EventQueue` ordering contract.
+
+The batched event kernel replaces the frozen-dataclass heap entries with
+packed tuples; these tests lock the externally observable contract in place
+first, so the queue can be rewritten against a fixed specification:
+
+* pop order is ``(time, kind priority, sequence)`` — time first, then the
+  kind tie-break (COPY_FINISH < JOB_ARRIVAL < PERIODIC_TICK < JOB_DEADLINE),
+  then insertion order;
+* cancellation is lazy and idempotent: a cancelled event is never popped,
+  cancelling an already-popped or already-cancelled handle is a no-op, and
+  ``len``/``bool`` count live events only;
+* ``peek_time`` agrees with the next ``pop`` even across cancellations, which
+  is what the engine's same-instant cohort drain relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator.events import _KIND_PRIORITY, EventKind, EventQueue
+
+KINDS = sorted(EventKind, key=lambda kind: _KIND_PRIORITY[kind])
+
+#: A pushed event: (time, kind); times are coarse floats so ties are common.
+event_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=8).map(lambda t: t / 2.0),
+        st.sampled_from(KINDS),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestPopOrdering:
+    @given(specs=event_specs)
+    @settings(max_examples=200, deadline=None)
+    def test_pop_order_is_time_then_kind_priority_then_sequence(self, specs):
+        queue = EventQueue()
+        handles = [queue.push(time, kind, index=i) for i, (time, kind) in enumerate(specs)]
+        expected = sorted(
+            handles,
+            key=lambda ev: (ev.time, _KIND_PRIORITY[ev.kind], ev.sequence),
+        )
+        popped = []
+        while queue:
+            popped.append(queue.pop())
+        assert [ev.payload["index"] for ev in popped] == [
+            ev.payload["index"] for ev in expected
+        ]
+        assert queue.pop() is None
+
+    @given(specs=event_specs)
+    @settings(max_examples=100, deadline=None)
+    def test_sequence_numbers_are_strictly_increasing(self, specs):
+        queue = EventQueue()
+        handles = [queue.push(time, kind) for time, kind in specs]
+        sequences = [handle.sequence for handle in handles]
+        assert sequences == sorted(sequences)
+        assert len(set(sequences)) == len(sequences)
+
+    def test_same_instant_kind_priority(self):
+        queue = EventQueue()
+        queue.push(1.0, EventKind.JOB_DEADLINE, tag="deadline")
+        queue.push(1.0, EventKind.JOB_ARRIVAL, tag="arrival")
+        queue.push(1.0, EventKind.COPY_FINISH, tag="finish")
+        queue.push(1.0, EventKind.PERIODIC_TICK, tag="tick")
+        order = [queue.pop().payload["tag"] for _ in range(4)]
+        assert order == ["finish", "arrival", "tick", "deadline"]
+
+    def test_negative_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.push(-0.5, EventKind.COPY_FINISH)
+
+
+class TestCancellation:
+    @given(specs=event_specs, data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_cancelled_events_never_pop_and_len_counts_live(self, specs, data):
+        queue = EventQueue()
+        handles = [queue.push(time, kind, index=i) for i, (time, kind) in enumerate(specs)]
+        to_cancel = data.draw(st.sets(st.sampled_from(range(len(handles)))))
+        for index in to_cancel:
+            queue.cancel(handles[index])
+            queue.cancel(handles[index])  # idempotent
+        live = [h for i, h in enumerate(handles) if i not in to_cancel]
+        assert len(queue) == len(live)
+        assert bool(queue) == bool(live)
+        expected = sorted(
+            live, key=lambda ev: (ev.time, _KIND_PRIORITY[ev.kind], ev.sequence)
+        )
+        popped = []
+        while queue:
+            popped.append(queue.pop())
+        assert [ev.payload["index"] for ev in popped] == [
+            ev.payload["index"] for ev in expected
+        ]
+
+    def test_cancel_after_pop_is_noop(self):
+        queue = EventQueue()
+        first = queue.push(1.0, EventKind.COPY_FINISH, tag="first")
+        queue.push(2.0, EventKind.COPY_FINISH, tag="second")
+        assert queue.pop() is first
+        queue.cancel(first)  # already fired: must not affect the live event
+        assert len(queue) == 1
+        assert queue.pop().payload["tag"] == "second"
+
+    def test_clear_empties_everything(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, EventKind.COPY_FINISH)
+        queue.push(2.0, EventKind.JOB_ARRIVAL)
+        queue.cancel(handle)
+        queue.clear()
+        assert len(queue) == 0
+        assert not queue
+        assert queue.pop() is None
+        assert queue.peek_time() is None
+
+
+class TestPeekAndCohortDrain:
+    @given(specs=event_specs, data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_peek_time_matches_next_pop(self, specs, data):
+        queue = EventQueue()
+        handles = [queue.push(time, kind) for time, kind in specs]
+        for index in data.draw(st.sets(st.sampled_from(range(len(handles))))):
+            queue.cancel(handles[index])
+        while True:
+            peeked = queue.peek_time()
+            event = queue.pop()
+            if event is None:
+                assert peeked is None
+                break
+            assert peeked == event.time
+
+    @given(specs=event_specs)
+    @settings(max_examples=100, deadline=None)
+    def test_same_instant_cohort_drains_completely(self, specs):
+        """The engine's cohort drain: pop one event, then drain its instant."""
+        queue = EventQueue()
+        for time, kind in specs:
+            queue.push(time, kind)
+        cohorts = []
+        while queue:
+            event = queue.pop()
+            cohort = [event]
+            while queue.peek_time() == event.time:
+                cohort.append(queue.pop())
+            cohorts.append(cohort)
+        times = [cohort[0].time for cohort in cohorts]
+        assert times == sorted(times)
+        assert len(set(times)) == len(times), "each instant drains in one cohort"
+        assert sum(len(c) for c in cohorts) == len(specs)
