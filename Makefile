@@ -1,7 +1,7 @@
 # Convenience targets; the logic lives in scripts/check.sh so CI and
 # humans run exactly the same commands.
 
-.PHONY: test bench-smoke bench-gate lint check
+.PHONY: test bench-smoke bench-gate lint check ingest-smoke cluster-replay
 
 test:
 	./scripts/check.sh test
@@ -14,6 +14,15 @@ bench-gate:
 
 lint:
 	./scripts/check.sh lint
+
+ingest-smoke:
+	./scripts/check.sh ingest-smoke
+
+# The large-scale leg: CLUSTER_JOBS (default 20000) generated jobs replayed
+# fully streaming at workers 1 and 4; the scheduled CI job runs this at
+# CLUSTER_JOBS=100000.
+cluster-replay:
+	./scripts/check.sh cluster-replay
 
 check:
 	./scripts/check.sh all

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Repo check harness:
-#   ./scripts/check.sh [test|coverage|bench-smoke|bench-gate|replay-determinism|lint|all]
+#   ./scripts/check.sh [test|coverage|bench-smoke|bench-gate|replay-determinism|ingest-smoke|cluster-replay|lint|all]
 #
 # * test        — the tier-1 suite (PYTHONPATH=src python -m pytest -x -q)
 # * coverage    — the tier-1 suite under pytest-cov with the line-coverage
@@ -26,6 +26,16 @@
 #                 1/4, plus --sink aggregate legs holding zero JobResults)
 #                 and fails unless all eight printed sha256 metrics digests
 #                 agree
+# * ingest-smoke — converts the bundled 20-row Google and Alibaba trace
+#                 samples with `grass-experiments ingest`, replays each
+#                 converted trace at --workers 1 and 4, and fails unless the
+#                 digests agree per trace (the per-PR guard on the converter)
+# * cluster-replay — replays the generated cluster tier (CLUSTER_JOBS jobs,
+#                 default 20000) fully streaming at --workers 1 and 4, fails
+#                 unless the digests agree and peak resident jobs stay under
+#                 RESIDENCY_MAX_PCT% (default 1) of the tier, and writes a
+#                 summary to CLUSTER_SUMMARY if set (the scheduled CI leg's
+#                 artifact)
 # * lint        — ruff or flake8 when installed, otherwise a byte-compile
 #                 pass over src/tests/benchmarks/scripts/examples (the
 #                 container ships no linter; do NOT pip install one here)
@@ -87,6 +97,84 @@ run_replay_determinism() {
     echo "replay-determinism: ok (all eight variants agree)"
 }
 
+run_ingest_smoke() {
+    local tmpdir
+    tmpdir="$(mktemp -d)"
+    local format sample converted digest1 digest4 status=0
+    for format in google alibaba; do
+        case "$format" in
+            google) sample="traces/samples/google_task_events.sample.csv" ;;
+            alibaba) sample="traces/samples/alibaba_batch_task.sample.csv" ;;
+        esac
+        converted="$tmpdir/$format.jsonl"
+        echo "ingest-smoke: convert $sample ($format)"
+        python -m repro.experiments.cli ingest \
+            --format "$format" --input "$sample" --output "$converted" \
+            || { status=1; break; }
+        digest1="$(python -m repro.experiments.cli replay \
+            --trace "$converted" --scale quick --seed 0 --workers 1 \
+            | sed -n 's/^metrics digest: sha256=//p')"
+        digest4="$(python -m repro.experiments.cli replay \
+            --trace "$converted" --scale quick --seed 0 --workers 4 \
+            --stream-specs --sink aggregate \
+            | sed -n 's/^metrics digest: sha256=//p')"
+        if [ -z "$digest1" ] || [ "$digest1" != "$digest4" ]; then
+            echo "ingest-smoke: FAILED — $format digests differ or missing" >&2
+            echo "  workers 1: $digest1" >&2
+            echo "  workers 4: $digest4" >&2
+            status=1
+            break
+        fi
+        echo "  sha256=$digest1 (workers 1 and 4 agree)"
+    done
+    rm -rf "$tmpdir"
+    [ "$status" -eq 0 ] && echo "ingest-smoke: ok (both formats round-trip)"
+    return "$status"
+}
+
+run_cluster_replay() {
+    local jobs="${CLUSTER_JOBS:-20000}"
+    local max_pct="${RESIDENCY_MAX_PCT:-1}"
+    local out1 out4 digest1 digest4 peak
+    out1="$(mktemp)"; out4="$(mktemp)"
+    echo "cluster-replay: $jobs generated jobs, fully streaming"
+    python -m repro.experiments.cli replay \
+        --cluster-jobs "$jobs" --scale quick --seed 0 --shards 8 \
+        --workers 1 --stream-specs --sink aggregate | tee "$out1"
+    python -m repro.experiments.cli replay \
+        --cluster-jobs "$jobs" --scale quick --seed 0 --shards 8 \
+        --workers 4 --stream-specs --sink aggregate | tee "$out4"
+    digest1="$(sed -n 's/^metrics digest: sha256=//p' "$out1")"
+    digest4="$(sed -n 's/^metrics digest: sha256=//p' "$out4")"
+    peak="$(sed -n 's/^peak resident jobs: \([0-9]*\).*/\1/p' "$out4")"
+    rm -f "$out1" "$out4"
+    if [ -z "$digest1" ] || [ "$digest1" != "$digest4" ]; then
+        echo "cluster-replay: FAILED — digests differ across workers:" >&2
+        echo "  workers 1: $digest1" >&2
+        echo "  workers 4: $digest4" >&2
+        return 1
+    fi
+    if [ -z "$peak" ]; then
+        echo "cluster-replay: FAILED — no peak-resident-jobs line printed" >&2
+        return 1
+    fi
+    # peak * 100 < jobs * max_pct  <=>  residency ratio < max_pct%
+    if [ $((peak * 100)) -ge $((jobs * max_pct)) ]; then
+        echo "cluster-replay: FAILED — peak resident jobs $peak >= ${max_pct}% of $jobs" >&2
+        return 1
+    fi
+    echo "cluster-replay: ok (digest $digest1, peak resident jobs $peak < ${max_pct}% of $jobs)"
+    if [ -n "${CLUSTER_SUMMARY:-}" ]; then
+        {
+            echo "jobs=$jobs"
+            echo "digest=sha256:$digest1"
+            echo "peak_resident_jobs=$peak"
+            echo "residency_max_pct=$max_pct"
+        } > "$CLUSTER_SUMMARY"
+        echo "cluster-replay: summary written to $CLUSTER_SUMMARY"
+    fi
+}
+
 run_bench_smoke() {
     GRASS_BENCH_SCALE=quick python -m pytest -q \
         benchmarks/bench_engine_hotpath.py \
@@ -95,6 +183,7 @@ run_bench_smoke() {
         benchmarks/bench_stream_replay.py \
         benchmarks/bench_stream_specs.py \
         benchmarks/bench_result_sink.py \
+        benchmarks/bench_cluster_scale.py \
         benchmarks/bench_fig1_deadline_example.py \
         || return $?
     # The JSON merge happens in a pytest sessionfinish hook whose failure
@@ -168,10 +257,12 @@ case "${1:-all}" in
     bench-smoke) run_bench_smoke ;;
     bench-gate) run_bench_gate ;;
     replay-determinism) run_replay_determinism ;;
+    ingest-smoke) run_ingest_smoke ;;
+    cluster-replay) run_cluster_replay ;;
     lint) run_lint ;;
     all) run_lint; run_test; run_bench_smoke ;;
     *)
-        echo "usage: $0 [test|coverage|bench-smoke|bench-gate|replay-determinism|lint|all]" >&2
+        echo "usage: $0 [test|coverage|bench-smoke|bench-gate|replay-determinism|ingest-smoke|cluster-replay|lint|all]" >&2
         exit 2
         ;;
 esac

@@ -1,6 +1,13 @@
-"""Command-line entry point: ``grass-experiments <figure>|replay [options]``.
+"""Command-line entry point: ``grass-experiments <figure>|replay|ingest``.
 
 Examples::
+
+    grass-experiments ingest --format google --input task_events.csv \
+        --output google.jsonl --limit-jobs 1000
+    grass-experiments ingest --format alibaba --input batch_task.csv \
+        --output alibaba.jsonl --window 0 3600
+    grass-experiments replay --cluster-jobs 1000000 --stream-specs \
+        --sink aggregate --shards 8 --workers 0
 
     grass-experiments figure5
     grass-experiments figure7 --scale quick
@@ -70,7 +77,12 @@ from repro.workload.synthetic import (
     BOUND_MIXED,
 )
 from repro.simulator.sinks import SINK_KINDS, SinkFactory, parse_sink_spec
-from repro.workload.trace_replay import TraceReplayConfig
+from repro.workload.ingest import INGEST_FORMATS, DEFAULT_CLOSE_GAP, ingest_trace
+from repro.workload.trace_replay import (
+    ClusterTierConfig,
+    TraceReplayConfig,
+    iter_cluster_trace,
+)
 from repro.workload.traces import TraceFormatError, load_trace
 
 _SCALES = {
@@ -126,10 +138,21 @@ def build_replay_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--trace",
-        required=True,
+        default=None,
         metavar="PATH",
         help="JSONL trace file (one {job_id, arrival_time, task_durations} "
-        "object per line)",
+        "object per line); exactly one of --trace / --cluster-jobs",
+    )
+    parser.add_argument(
+        "--cluster-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="replay the generated cluster-scale tier at N jobs instead of a "
+        "trace file: jobs are generated lazily (seeded by --seed, "
+        "byte-reproducible, log-normal sizes) — combine with --stream-specs "
+        "--sink aggregate to replay a million jobs with O(concurrent jobs) "
+        "resident state",
     )
     parser.add_argument(
         "--policy",
@@ -218,6 +241,105 @@ def build_replay_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_ingest_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="grass-experiments ingest",
+        description="Convert a real cluster trace (Google cluster-traces "
+        "task events or Alibaba cluster-trace batch tasks, CSV) into the "
+        "replay JSONL schema in one streaming pass: the input is never "
+        "materialised, jobs are emitted in arrival order, and the output "
+        "streams straight into 'replay --stream/--stream-specs'.",
+    )
+    parser.add_argument(
+        "--format",
+        required=True,
+        choices=INGEST_FORMATS,
+        help="source format: 'google' (task_events CSV, sorted by timestamp) "
+        "or 'alibaba' (batch_task CSV, sorted by start time)",
+    )
+    parser.add_argument(
+        "--input",
+        required=True,
+        metavar="CSV",
+        help="source CSV file (column mappings documented in "
+        "repro.workload.ingest and the README)",
+    )
+    parser.add_argument(
+        "--output",
+        required=True,
+        metavar="JSONL",
+        help="replay JSONL file to write (one job per line, arrival-ordered)",
+    )
+    parser.add_argument(
+        "--limit-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after emitting N jobs (the source is not read further, so "
+        "converting the head of a multi-gigabyte trace stays cheap)",
+    )
+    parser.add_argument(
+        "--window",
+        type=float,
+        nargs=2,
+        default=None,
+        metavar=("START", "END"),
+        help="keep only jobs arriving in [START, END) seconds relative to "
+        "the trace's first job",
+    )
+    parser.add_argument(
+        "--close-gap",
+        type=float,
+        default=DEFAULT_CLOSE_GAP,
+        metavar="SECONDS",
+        help="idle seconds after which a job with no open tasks is considered "
+        f"complete (default {DEFAULT_CLOSE_GAP:.0f}); raise it if the "
+        "converter reports a job reappearing after close",
+    )
+    return parser
+
+
+def ingest_main(argv: List[str]) -> int:
+    args = build_ingest_parser().parse_args(argv)
+    if args.limit_jobs is not None and args.limit_jobs < 1:
+        print("--limit-jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.window is not None:
+        start, end = args.window
+        if not 0 <= start < end:
+            print("--window must satisfy 0 <= START < END", file=sys.stderr)
+            return 2
+    if args.close_gap < 0:
+        print("--close-gap must be >= 0", file=sys.stderr)
+        return 2
+    started = time.time()
+    try:
+        stats = ingest_trace(
+            args.format,
+            args.input,
+            args.output,
+            limit_jobs=args.limit_jobs,
+            window=tuple(args.window) if args.window is not None else None,
+            close_gap=args.close_gap,
+        )
+    except FileNotFoundError:
+        print(f"source file not found: {args.input}", file=sys.stderr)
+        return 2
+    except TraceFormatError as exc:
+        print(f"malformed source: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    elapsed = time.time() - started
+    print(f"Ingested {args.input} ({args.format}) -> {args.output}")
+    for label, value in stats.rows():
+        print(f"  {label:<24} {value}")
+    print(f"(converted in {elapsed:.1f}s; replay with: grass-experiments "
+          f"replay --trace {args.output} --stream-specs --sink aggregate)")
+    return 0
+
+
 def metrics_digest(comparison: ComparisonResult) -> str:
     """SHA-256 over the merged per-job results, canonically serialised.
 
@@ -280,6 +402,18 @@ def replay_main(argv: List[str]) -> int:
             file=sys.stderr,
         )
         return 2
+    if (args.trace is None) == (args.cluster_jobs is None):
+        print("give exactly one of --trace PATH or --cluster-jobs N", file=sys.stderr)
+        return 2
+    if args.cluster_jobs is not None and args.cluster_jobs < 1:
+        print("--cluster-jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.cluster_jobs is not None:
+        source = ClusterTierConfig(num_jobs=args.cluster_jobs, seed=args.seed)
+        source_label = str(source)
+    else:
+        source = args.trace
+        source_label = args.trace
     scale = replace(_SCALES[args.scale](), workers=args.workers)
     replay_config = TraceReplayConfig(
         framework=args.framework, bound_kind=args.bound_kind, seed=args.seed
@@ -290,7 +424,7 @@ def replay_main(argv: List[str]) -> int:
         try:
             streamed = replay_stream(
                 policies,
-                args.trace,
+                source,
                 replay_config=replay_config,
                 scale=scale,
                 shards=args.shards,
@@ -312,7 +446,13 @@ def replay_main(argv: List[str]) -> int:
         num_jobs = streamed.num_jobs
     else:
         try:
-            trace = load_trace(args.trace)
+            if args.cluster_jobs is not None:
+                # Batch replay of the generated tier materialises it — fine
+                # for digest-parity checks at small N; the million-job runs
+                # belong on --stream-specs.
+                trace = list(iter_cluster_trace(source))
+            else:
+                trace = load_trace(args.trace)
         except FileNotFoundError:
             print(f"trace file not found: {args.trace}", file=sys.stderr)
             return 2
@@ -320,7 +460,7 @@ def replay_main(argv: List[str]) -> int:
             print(f"malformed trace: {exc}", file=sys.stderr)
             return 2
         if not trace:
-            print(f"trace is empty: {args.trace}", file=sys.stderr)
+            print(f"trace is empty: {source_label}", file=sys.stderr)
             return 2
         comparison = replay(
             policies,
@@ -350,7 +490,7 @@ def replay_main(argv: List[str]) -> int:
     else:
         mode = ""
     print(
-        f"Replayed {args.trace}{mode}: {num_jobs} jobs, {args.shards} shard(s), "
+        f"Replayed {source_label}{mode}: {num_jobs} jobs, {args.shards} shard(s), "
         f"{len(scale.seeds)} seed(s), workers={args.workers}, sink={args.sink}"
     )
     print(header)
@@ -408,6 +548,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "replay":
         return replay_main(argv[1:])
+    if argv and argv[0] == "ingest":
+        return ingest_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.workers < 0:
         print("--workers must be >= 0 (0 means auto)", file=sys.stderr)

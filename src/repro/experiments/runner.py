@@ -37,16 +37,19 @@ from repro.simulator.sinks import (
 )
 from repro.workload.synthetic import GeneratedWorkload, WorkloadConfig, generate_workload
 from repro.workload.trace_replay import (
+    ClusterSpecSource,
+    ClusterTierConfig,
     TraceReplayConfig,
     TraceSpecSource,
     TraceWorkload,
+    iter_cluster_trace,
     iter_job_specs,
     iter_trace_shards,
     slice_trace,
     straggler_cap_from_ratio,
     trace_to_workload,
 )
-from repro.workload.traces import TraceJob, iter_trace, scan_trace
+from repro.workload.traces import TraceJob, iter_trace, scan_jobs, scan_trace
 from repro.utils.stats import mean
 
 #: Offset added to a workload's seed to derive its warm-up seed.  The
@@ -449,9 +452,33 @@ class StreamedReplay:
     peak_resident_jobs: int = 0
 
 
+#: A streaming replay source: a JSONL trace path, or a generated trace tier
+#: whose jobs are produced lazily (no file involved).
+TraceSource = Union[str, Path, ClusterTierConfig]
+
+
+def _source_jobs(source: TraceSource):
+    """The lazy job stream of a replay source (file parse or generation)."""
+    if isinstance(source, ClusterTierConfig):
+        return iter_cluster_trace(source)
+    return iter_trace(source)
+
+
+def _scan_source(source: TraceSource):
+    """The calibration scan of a replay source.
+
+    Files go through :func:`scan_trace` (which also enforces the streaming
+    parse's format and duplicate-id guards); generated tiers fold the same
+    statistics over the generator — identical semantics, no file.
+    """
+    if isinstance(source, ClusterTierConfig):
+        return scan_jobs(iter_cluster_trace(source), source=str(source))
+    return scan_trace(source)
+
+
 def replay_stream(
     policy_names: Sequence[str],
-    trace_path: Union[str, Path],
+    trace_path: TraceSource,
     replay_config: Optional[TraceReplayConfig] = None,
     scale: Optional[ExperimentScale] = None,
     shards: int = 1,
@@ -463,7 +490,13 @@ def replay_stream(
     """Replay a JSONL trace as a bounded-memory streaming pipeline.
 
     The streaming twin of :func:`replay` for traces too large to hold in
-    memory.  Two passes over the file:
+    memory.  ``trace_path`` may also be a
+    :class:`~repro.workload.trace_replay.ClusterTierConfig` — the generated
+    million-job tier — in which case every pass below runs over the lazy
+    generator instead of a file (with ``stream_specs`` the requests carry a
+    :class:`~repro.workload.trace_replay.ClusterSpecSource` and each worker
+    regenerates exactly its shard's window, random-access, so no process
+    ever holds any slice of the trace).  Two passes over the file:
 
     1. **Calibration scan** (``traces.scan_trace``): bounded memory (it
        retains job *ids* for duplicate detection, never task payloads);
@@ -538,7 +571,7 @@ def replay_stream(
     replay_config = replay_config or TraceReplayConfig()
     sink = sink or SinkFactory()
 
-    scan = scan_trace(trace_path)
+    scan = _scan_source(trace_path)
     if not scan.arrival_sorted:
         raise ValueError(
             f"streaming replay requires a trace sorted by (arrival_time, job_id); "
@@ -576,13 +609,21 @@ def replay_stream(
             # materialised in this process; the executing side streams the
             # shard's specs straight into the engine.
             for shard_index in range(num_shards):
-                source = TraceSpecSource(
-                    trace_path=str(trace_path),
-                    replay_config=replay_config,
-                    shard_index=shard_index,
-                    num_shards=num_shards,
-                    total_jobs=scan.num_jobs,
-                )
+                if isinstance(trace_path, ClusterTierConfig):
+                    source = ClusterSpecSource(
+                        tier=trace_path,
+                        replay_config=replay_config,
+                        shard_index=shard_index,
+                        num_shards=num_shards,
+                    )
+                else:
+                    source = TraceSpecSource(
+                        trace_path=str(trace_path),
+                        replay_config=replay_config,
+                        shard_index=shard_index,
+                        num_shards=num_shards,
+                        total_jobs=scan.num_jobs,
+                    )
                 for name in policy_names:
                     for seed in scale.seeds:
                         yield RunRequest(
@@ -595,7 +636,7 @@ def replay_stream(
                         )
             return
         shard_stream = iter_trace_shards(
-            iter_trace(trace_path), num_shards, scan.num_jobs
+            _source_jobs(trace_path), num_shards, scan.num_jobs
         )
         for shard_index in range(num_shards):
             shard_jobs = next(shard_stream)
@@ -651,7 +692,7 @@ def replay_stream(
         # streaming spec-construction pass: O(#jobs) small metadata records,
         # never a spec list (each constructed spec is discarded immediately).
         for _ in iter_job_specs(
-            iter_trace(trace_path), replay_config, metadata=merged_metadata
+            _source_jobs(trace_path), replay_config, metadata=merged_metadata
         ):
             pass
 

@@ -252,6 +252,7 @@ class Simulation:
             self._finish_job(self._jobs[job_id])
         self.metrics.simulated_time = self._now
         self.metrics.peak_resident_jobs = self.peak_resident_jobs
+        self.metrics.events_processed = self.events_processed
         # Let the sink finalise (a spill sink flushes and closes its file);
         # results recorded after this point would be a bug, not a feature.
         self.metrics.sink.finish()

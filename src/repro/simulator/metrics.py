@@ -43,6 +43,10 @@ class MetricsCollector:
     #: High-water mark of jobs resident in the engine at once — O(max
     #: concurrent), not O(workload), now that finished jobs are evicted.
     peak_resident_jobs: int = 0
+    #: Engine events processed by the simulation that filled this collector;
+    #: replay-level benches sum it across simulations to report events/s
+    #: without holding the Simulation objects.
+    events_processed: int = 0
 
     # -- recording -------------------------------------------------------------
 

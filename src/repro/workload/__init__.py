@@ -31,11 +31,21 @@ from repro.workload.profiles import (
     framework_profile,
     workload_profile,
 )
+from repro.workload.ingest import (
+    INGEST_FORMATS,
+    IngestStats,
+    ingest_trace,
+    iter_ingested_trace,
+)
 from repro.workload.synthetic import SyntheticWorkloadGenerator, WorkloadConfig
 from repro.workload.trace_replay import (
+    ClusterSpecSource,
+    ClusterTierConfig,
     TraceReplayConfig,
     TraceWorkload,
+    cluster_trace_job,
     export_trace,
+    iter_cluster_trace,
     slice_trace,
     synthesize_trace,
     trace_to_workload,
@@ -46,6 +56,8 @@ from repro.workload.traces import (
     TraceSummary,
     load_trace,
     save_trace,
+    scan_jobs,
+    scan_trace,
     summarize_trace,
     trace_from_specs,
 )
@@ -70,14 +82,24 @@ __all__ = [
     "workload_profile",
     "SyntheticWorkloadGenerator",
     "WorkloadConfig",
+    "ClusterSpecSource",
+    "ClusterTierConfig",
+    "INGEST_FORMATS",
+    "IngestStats",
     "TraceFormatError",
     "TraceJob",
     "TraceReplayConfig",
     "TraceSummary",
     "TraceWorkload",
+    "cluster_trace_job",
     "export_trace",
+    "ingest_trace",
+    "iter_cluster_trace",
+    "iter_ingested_trace",
     "load_trace",
     "save_trace",
+    "scan_jobs",
+    "scan_trace",
     "slice_trace",
     "summarize_trace",
     "synthesize_trace",

@@ -425,6 +425,155 @@ def iter_trace_shards(
         raise ValueError(f"trace stream has more than the expected {total_jobs} jobs")
 
 
+# ---------------------------------------------------------- cluster-scale tier
+
+
+@dataclass(frozen=True)
+class ClusterTierConfig:
+    """The ``scale=cluster`` synthetic tier: ~a million jobs, generated lazily.
+
+    The fixture traces in ``traces/`` are 40 jobs; the paper's own traces are
+    575K/500K (§Table 1).  This tier closes the *scale* gap: a seeded
+    generator that yields :class:`~repro.workload.traces.TraceJob` records
+    one at a time, byte-reproducible for a given config, so an
+    ``iter_trace``-shaped source can feed ``--stream-specs --sink aggregate``
+    replay at six orders of magnitude without any file or list ever holding
+    the trace.
+
+    Every job is generated **independently** from ``(seed, job index)``
+    (:func:`cluster_trace_job` is random-access), which is what lets a shard
+    regenerate exactly its own window without generating its predecessors —
+    the same property the per-job bound RNG gives replay.
+
+    The size model is a log-normal over task counts, binned by the same
+    small/medium/large thresholds as the Facebook/Bing fixtures: with the
+    defaults the mix is roughly 94% small, 6% medium and a 0.1% large tail
+    (cluster traces are dominated by small jobs), keeping a million-job
+    replay's event count tolerable.  Durations get log-normal jitter around
+    ``median_task_duration`` plus an occasional straggler inflation so the
+    calibration pre-pass derives a meaningful straggler cap, exactly as it
+    would from a real trace.
+    """
+
+    num_jobs: int = 1_000_000
+    seed: int = 0
+    #: Mean seconds between consecutive arrivals.  Arrivals are strictly
+    #: increasing by construction: job ``i`` arrives at ``i * mean`` plus a
+    #: jitter drawn from ``[0, 0.9 * mean)``.
+    mean_interarrival: float = 5.0
+    #: Median of the log-normal task-count distribution.
+    median_tasks: float = 4.0
+    #: Sigma of the log-normal task-count distribution.
+    tasks_sigma: float = 1.6
+    max_tasks_per_job: int = 2000
+    #: Median observed task duration (seconds) before jitter/straggling.
+    median_task_duration: float = 12.0
+    duration_sigma: float = 0.35
+    #: Fraction of tasks inflated by a straggler multiplier in [2, 8).
+    straggler_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.num_jobs < 1:
+            raise ValueError("num_jobs must be at least 1")
+        if self.mean_interarrival <= 0:
+            raise ValueError("mean_interarrival must be positive")
+        if self.median_tasks < 1 or self.max_tasks_per_job < 1:
+            raise ValueError("task-count knobs must be at least 1")
+        if self.tasks_sigma < 0 or self.duration_sigma < 0:
+            raise ValueError("sigmas must be non-negative")
+        if not 0.0 <= self.straggler_fraction <= 1.0:
+            raise ValueError("straggler_fraction must lie in [0, 1]")
+
+    def __str__(self) -> str:
+        return f"cluster:{self.num_jobs} (seed {self.seed})"
+
+
+def cluster_trace_job(config: ClusterTierConfig, index: int) -> TraceJob:
+    """Generate job ``index`` of the cluster tier — random access, no state.
+
+    The per-job RNG stream is derived from ``(config.seed, index)`` alone, so
+    any slice of the tier regenerates byte-identically in any process.
+    """
+    if not 0 <= index < config.num_jobs:
+        raise ValueError(f"job index {index} outside [0, {config.num_jobs})")
+    rng = RngStream(config.seed, "cluster-tier").spawn(f"job/{index}")
+    arrival = index * config.mean_interarrival + rng.uniform(
+        0.0, 0.9 * config.mean_interarrival
+    )
+    num_tasks = min(
+        config.max_tasks_per_job,
+        max(1, int(round(rng.lognormal(math.log(config.median_tasks), config.tasks_sigma)))),
+    )
+    durations = []
+    for _ in range(num_tasks):
+        duration = config.median_task_duration * rng.lognormal(
+            0.0, config.duration_sigma
+        )
+        if rng.random() < config.straggler_fraction:
+            duration *= rng.uniform(2.0, 8.0)
+        durations.append(round(duration, 4))
+    return TraceJob(job_id=index, arrival_time=arrival, task_durations=durations)
+
+
+def iter_cluster_trace(
+    config: ClusterTierConfig, start: int = 0, stop: Optional[int] = None
+) -> Iterator[TraceJob]:
+    """Lazily yield the cluster tier's jobs for ``[start, stop)``.
+
+    O(1) memory: each job is generated, yielded, and dropped.  Arrivals are
+    strictly increasing in the index (the jitter never spans an interarrival
+    gap), so the stream satisfies the ``(arrival_time, job_id)`` sort every
+    streaming consumer requires, and duplicate ids are impossible by
+    construction — no seen-id set is needed, unlike :func:`iter_trace`.
+    """
+    stop = config.num_jobs if stop is None else min(stop, config.num_jobs)
+    for index in range(start, stop):
+        yield cluster_trace_job(config, index)
+
+
+@dataclass(frozen=True)
+class ClusterSpecSource:
+    """A lazy, picklable description of one cluster-tier shard's specs.
+
+    The generated-trace twin of :class:`TraceSpecSource`: instead of a path
+    plus a window, it carries the tier config plus shard coordinates, and
+    the executing worker regenerates exactly its own window (random-access
+    generation — no predecessor jobs are ever produced) straight into the
+    engine's lazy spec ingestion.
+    """
+
+    tier: ClusterTierConfig
+    replay_config: TraceReplayConfig
+    shard_index: int
+    num_shards: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.shard_index < self.num_shards:
+            raise ValueError("shard_index must lie in [0, num_shards)")
+        if self.tier.num_jobs < self.num_shards:
+            raise ValueError("cannot cut more shards than the tier has jobs")
+
+    @property
+    def num_jobs(self) -> int:
+        """Job count of this shard (same boundaries as :func:`slice_trace`)."""
+        return shard_sizes(self.tier.num_jobs, self.num_shards)[self.shard_index]
+
+    def iter_specs(self) -> Iterator[JobSpec]:
+        """Regenerate this shard's window and adapt it spec by spec."""
+        sizes = shard_sizes(self.tier.num_jobs, self.num_shards)
+        start = sum(sizes[: self.shard_index])
+        window = iter_cluster_trace(
+            self.tier, start=start, stop=start + sizes[self.shard_index]
+        )
+        return iter_job_specs(window, self.replay_config)
+
+    def __str__(self) -> str:
+        return (
+            f"cluster-shard[{self.shard_index + 1}/{self.num_shards}] "
+            f"of {self.tier} ({self.num_jobs} jobs)"
+        )
+
+
 # --------------------------------------------------------------- synthesizer
 
 

@@ -147,8 +147,14 @@ def iter_trace(path: Union[str, Path]) -> Iterator[TraceJob]:
     """Lazily parse a JSON-lines trace, one :class:`TraceJob` at a time.
 
     The streaming twin of :func:`load_trace`: jobs are yielded as their lines
-    are read, so a trace never has to fit in memory at once (only the
-    duplicate-id check keeps O(#jobs) of *ids*).  Blank lines are skipped.
+    are read, so a trace never has to fit in memory at once.  The streaming
+    parse enforces the same duplicate-job-id guard ``load_trace`` enforces —
+    ``--stream``/``--stream-specs`` replay must reject the same malformed
+    traces batch replay rejects.  The guard's seen-id set is the only state
+    that grows with the file: O(#jobs) integers, never task payloads (a
+    1M-job trace costs ~30 MB of ids — bounded-by-ids, not O(1); generated
+    sources whose ids are sequential by construction skip it entirely).
+    Blank lines are skipped.
     Anything else that is not a well-formed record — invalid JSON, a
     non-object line, missing or non-numeric fields, values :class:`TraceJob`
     rejects, duplicated job ids — raises :class:`TraceFormatError` naming
@@ -220,17 +226,21 @@ class TraceScan:
     arrival_sorted: bool
 
 
-def scan_trace(path: Union[str, Path]) -> TraceScan:
-    """One streaming pass over a JSONL trace: count, severity, sortedness.
+def scan_jobs(jobs: Iterable[TraceJob], source: str = "trace") -> TraceScan:
+    """Fold the calibration statistics over any stream of trace jobs.
 
-    Raises :class:`TraceFormatError` for malformed records (the pass shares
-    :func:`iter_trace`'s validation) and ``ValueError`` for an empty trace.
+    The single definition of the streaming calibration pass: O(1) memory, the
+    ratio sum folds left-to-right exactly like ``stats.mean`` over a full
+    list.  :func:`scan_trace` applies it to a JSONL file; streaming replay of
+    a *generated* trace (the cluster tier) applies it to the generator
+    directly — same statistics, same floats, no file required.  ``source``
+    only names the stream in the empty-input error.
     """
     num_jobs = 0
     ratio_sum = 0.0
     arrival_sorted = True
     previous_key = None
-    for job in iter_trace(path):
+    for job in jobs:
         num_jobs += 1
         ratio_sum += job.slowest_to_median_ratio
         key = (job.arrival_time, job.job_id)
@@ -238,9 +248,21 @@ def scan_trace(path: Union[str, Path]) -> TraceScan:
             arrival_sorted = False
         previous_key = key
     if num_jobs == 0:
-        raise ValueError(f"cannot scan an empty trace: {path}")
+        raise ValueError(f"cannot scan an empty trace: {source}")
     return TraceScan(
         num_jobs=num_jobs,
         mean_slowest_to_median=ratio_sum / num_jobs,
         arrival_sorted=arrival_sorted,
     )
+
+
+def scan_trace(path: Union[str, Path]) -> TraceScan:
+    """One streaming pass over a JSONL trace: count, severity, sortedness.
+
+    Raises :class:`TraceFormatError` for malformed records (the pass shares
+    :func:`iter_trace`'s validation — including the duplicate-id guard, so
+    ``--stream``/``--stream-specs`` replay rejects the same malformed traces
+    batch replay rejects before any simulation starts) and ``ValueError``
+    for an empty trace.
+    """
+    return scan_jobs(iter_trace(path), source=str(path))
