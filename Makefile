@@ -1,7 +1,7 @@
 # Convenience targets; the logic lives in scripts/check.sh so CI and
 # humans run exactly the same commands.
 
-.PHONY: test bench-smoke bench-gate lint check ingest-smoke cluster-replay
+.PHONY: test bench-smoke bench-gate lint check ingest-smoke service-smoke cluster-replay
 
 test:
 	./scripts/check.sh test
@@ -17,6 +17,11 @@ lint:
 
 ingest-smoke:
 	./scripts/check.sh ingest-smoke
+
+# End-to-end smoke of the always-on replay service: real server process,
+# SERVICE_TENANTS concurrent tenants, digest parity, overload rejections.
+service-smoke:
+	./scripts/check.sh service-smoke
 
 # The large-scale leg: CLUSTER_JOBS (default 20000) generated jobs replayed
 # fully streaming at workers 1 and 4; the scheduled CI job runs this at

@@ -1,0 +1,101 @@
+"""Macro-benchmark: the multi-tenant replay service under concurrent load.
+
+Boots an in-process :class:`~repro.service.server.ReplayService` and drives
+it with :func:`~repro.service.load.run_load`: dozens of concurrent tenant
+sessions each submit a quick-scale streaming plan over a real socket,
+stream back per-shard aggregate deltas, and refold them client-side into
+the policy-tagged digest — which must match an offline ``execute(plan)`` of
+the identical plan for every tenant.  An overload burst against a
+deliberately tight instance then asserts admission control sheds load with
+explicit 429-style rejections.
+
+Records under the ``service-load`` kind in ``BENCH_engine.json``: sustained
+completed plans/second, the p50/p99 submission→first-delta latency (the
+interactivity number an approximation-analytics service lives on), digest
+parity, and the overload rejection counts.
+
+Environment knobs (on top of the usual ``GRASS_BENCH_SCALE``):
+
+* ``GRASS_SERVICE_TENANTS`` — concurrent tenant sessions; defaults to a
+  per-scale count (quick: 50, the acceptance floor of PR 8).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from benchmarks.conftest import bench_scale_name, record_benchmark
+from repro.service.load import run_load
+
+#: Default concurrent tenants per bench scale (GRASS_SERVICE_TENANTS wins).
+_DEFAULT_TENANTS = {"quick": 50, "default": 64, "paper": 96}
+
+#: Execution slots of the benched service instance.
+_MAX_INFLIGHT = 4
+
+
+def _tenants() -> int:
+    raw = os.environ.get("GRASS_SERVICE_TENANTS")
+    if raw is None:
+        return _DEFAULT_TENANTS[bench_scale_name()]
+    try:
+        tenants = int(raw)
+    except ValueError:
+        raise pytest.UsageError(
+            f"GRASS_SERVICE_TENANTS must be an integer >= 1, got {raw!r}"
+        ) from None
+    if tenants < 1:
+        raise pytest.UsageError(f"GRASS_SERVICE_TENANTS must be >= 1, got {tenants}")
+    return tenants
+
+
+def test_service_multi_tenant_load(benchmark):
+    tenants = _tenants()
+
+    def drive():
+        return run_load(
+            tenants=tenants,
+            plans_per_tenant=1,
+            distinct_plans=8,
+            cluster_jobs=12,
+            shards=2,
+            overload_burst=12,
+            max_inflight=_MAX_INFLIGHT,
+        )
+
+    report = benchmark.pedantic(drive, rounds=1, iterations=1)
+
+    p50 = report["first_delta_p50_seconds"]
+    p99 = report["first_delta_p99_seconds"]
+    record_benchmark(
+        "service-load",
+        "multi-tenant",
+        tenants=tenants,
+        plans=report["plans"],
+        completed=report["completed"],
+        digest_mismatches=report["digest_mismatches"],
+        wall_time_seconds=round(report["elapsed_seconds"], 3),
+        plans_per_second=round(report["plans_per_second"], 2),
+        first_delta_p50_ms=round(p50 * 1000.0, 1) if p50 is not None else None,
+        first_delta_p99_ms=round(p99 * 1000.0, 1) if p99 is not None else None,
+        overload_submitted=report["overload"]["submitted"],
+        overload_rejected=report["overload"]["rejected"],
+        scale=bench_scale_name(),
+        workers=_MAX_INFLIGHT,
+    )
+    print(
+        f"\nservice-load/multi-tenant: {report['completed']}/{report['plans']} "
+        f"plans from {tenants} tenants in {report['elapsed_seconds']:.2f}s -> "
+        f"{report['plans_per_second']:.1f} plans/s, p99 first delta "
+        f"{p99 * 1000.0:.0f}ms, overload rejected "
+        f"{report['overload']['rejected']}/{report['overload']['submitted']}"
+    )
+    # The acceptance contract of the always-on service: every tenant's
+    # streamed digest matches the offline execution, completion is total,
+    # and overload drew at least one explicit rejection.
+    assert report["ok"], report
+    assert report["completed"] == tenants
+    assert report["digest_mismatches"] == 0
+    assert report["overload"]["rejected"] >= 1

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Repo check harness:
-#   ./scripts/check.sh [test|coverage|bench-smoke|bench-gate|replay-determinism|ingest-smoke|cluster-replay|lint|all]
+#   ./scripts/check.sh [test|coverage|bench-smoke|bench-gate|replay-determinism|ingest-smoke|service-smoke|cluster-replay|lint|all]
 #
 # * test        — the tier-1 suite (PYTHONPATH=src python -m pytest -x -q)
 # * coverage    — the tier-1 suite under pytest-cov with the line-coverage
@@ -30,6 +30,12 @@
 #                 samples with `grass-experiments ingest`, replays each
 #                 converted trace at --workers 1 and 4, and fails unless the
 #                 digests agree per trace (the per-PR guard on the converter)
+# * service-smoke — starts the always-on replay service (grass-experiments
+#                 serve) on an ephemeral port, drives SERVICE_TENANTS
+#                 (default 6) concurrent tenants through streamed replay
+#                 plans plus a SERVICE_BURST (default 24) overload burst,
+#                 and fails unless every streamed digest matches the offline
+#                 execute(plan) and the burst drew explicit 429 rejections
 # * cluster-replay — replays the generated cluster tier (CLUSTER_JOBS jobs,
 #                 default 20000) fully streaming at --workers 1 and 4, fails
 #                 unless the digests agree and peak resident jobs stay under
@@ -132,6 +138,44 @@ run_ingest_smoke() {
     return "$status"
 }
 
+run_service_smoke() {
+    local tenants="${SERVICE_TENANTS:-6}"
+    local burst="${SERVICE_BURST:-24}"
+    local serve_out port status=0
+    serve_out="$(mktemp)"
+    echo "service-smoke: starting replay service (grass-experiments serve)"
+    python -m repro.experiments.cli serve \
+        --port 0 --max-inflight 2 --max-pending-per-tenant 4 \
+        --max-pending-total 8 > "$serve_out" 2>&1 &
+    local serve_pid=$!
+    # Wait for the ephemeral port announcement (max ~10s).
+    local tries=0
+    until grep -q "^listening on " "$serve_out" 2>/dev/null; do
+        tries=$((tries + 1))
+        if [ "$tries" -gt 100 ] || ! kill -0 "$serve_pid" 2>/dev/null; then
+            echo "service-smoke: FAILED — server never announced a port:" >&2
+            cat "$serve_out" >&2
+            kill "$serve_pid" 2>/dev/null || true
+            rm -f "$serve_out"
+            return 1
+        fi
+        sleep 0.1
+    done
+    port="$(sed -n 's/^listening on [0-9.]*:\([0-9]*\)$/\1/p' "$serve_out")"
+    echo "service-smoke: driving $tenants tenants + $burst-submission overload burst (port $port)"
+    # The driver exits nonzero unless every tenant's streamed digest matches
+    # the offline execute(plan) AND the burst drew explicit 429 rejections.
+    python -m repro.service.load \
+        --host 127.0.0.1 --port "$port" \
+        --tenants "$tenants" --cluster-jobs 8 --distinct-plans 2 \
+        --overload-burst "$burst" || status=1
+    kill "$serve_pid" 2>/dev/null || true
+    wait "$serve_pid" 2>/dev/null || true
+    rm -f "$serve_out"
+    [ "$status" -eq 0 ] && echo "service-smoke: ok (streamed digests match offline; overload rejected explicitly)"
+    return "$status"
+}
+
 run_cluster_replay() {
     local jobs="${CLUSTER_JOBS:-20000}"
     local max_pct="${RESIDENCY_MAX_PCT:-1}"
@@ -184,6 +228,7 @@ run_bench_smoke() {
         benchmarks/bench_stream_specs.py \
         benchmarks/bench_result_sink.py \
         benchmarks/bench_cluster_scale.py \
+        benchmarks/bench_service_load.py \
         benchmarks/bench_fig1_deadline_example.py \
         || return $?
     # The JSON merge happens in a pytest sessionfinish hook whose failure
@@ -258,11 +303,12 @@ case "${1:-all}" in
     bench-gate) run_bench_gate ;;
     replay-determinism) run_replay_determinism ;;
     ingest-smoke) run_ingest_smoke ;;
+    service-smoke) run_service_smoke ;;
     cluster-replay) run_cluster_replay ;;
     lint) run_lint ;;
     all) run_lint; run_test; run_bench_smoke ;;
     *)
-        echo "usage: $0 [test|coverage|bench-smoke|bench-gate|replay-determinism|ingest-smoke|cluster-replay|lint|all]" >&2
+        echo "usage: $0 [test|coverage|bench-smoke|bench-gate|replay-determinism|ingest-smoke|service-smoke|cluster-replay|lint|all]" >&2
         exit 2
         ;;
 esac

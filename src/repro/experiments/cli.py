@@ -1,4 +1,4 @@
-"""Command-line entry point: ``grass-experiments <figure>|replay|ingest``.
+"""Command-line entry point: ``grass-experiments <figure>|replay|ingest|serve``.
 
 Examples::
 
@@ -49,41 +49,44 @@ combined with ``--stream-specs`` this makes resident memory fully
 independent of trace length — and ``jsonl:DIR`` spills one JSON row per
 result under ``DIR`` for offline analysis.  Like streaming, the sink is a
 memory knob only: table and digest are identical for every kind.
+
+Every ``replay`` flag is generated from the :class:`ReplayPlan` dataclass's
+field metadata (``repro.experiments.plan``), the single description of a
+replay shared by this CLI, the library entry point ``runner.execute(plan)``
+and the always-on replay service — ``grass-experiments serve`` starts that
+service (``repro.service``), whose clients submit the same plans as JSON
+and stream back per-shard aggregate deltas plus the same metrics digest.
 """
 
 from __future__ import annotations
 
 import argparse
-import hashlib
 import sys
 import time
 from dataclasses import replace
 from typing import List, Optional
 
 from repro.experiments.figures import FIGURES, run_figure
-from repro.experiments.policies import available_policies
+from repro.experiments.plan import PlanError, add_plan_arguments, plan_from_args
 from repro.experiments.runner import (
-    ComparisonResult,
     ExperimentScale,
-    StreamedReplay,
-    replay,
-    replay_stream,
+    execute,
+    metrics_digest,
+    plan_scale,
 )
-from repro.workload.profiles import available_frameworks
-from repro.workload.synthetic import (
-    BOUND_DEADLINE,
-    BOUND_ERROR,
-    BOUND_EXACT,
-    BOUND_MIXED,
-)
-from repro.simulator.sinks import SINK_KINDS, SinkFactory, parse_sink_spec
+from repro.simulator.sinks import parse_sink_spec
 from repro.workload.ingest import INGEST_FORMATS, DEFAULT_CLOSE_GAP, ingest_trace
-from repro.workload.trace_replay import (
-    ClusterTierConfig,
-    TraceReplayConfig,
-    iter_cluster_trace,
-)
-from repro.workload.traces import TraceFormatError, load_trace
+from repro.workload.traces import TraceFormatError
+
+__all__ = [
+    "build_parser",
+    "build_replay_parser",
+    "build_ingest_parser",
+    "ingest_main",
+    "metrics_digest",  # re-exported from the runner for existing importers
+    "replay_main",
+    "main",
+]
 
 _SCALES = {
     "quick": ExperimentScale.quick,
@@ -131,113 +134,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def build_replay_parser() -> argparse.ArgumentParser:
+    """The ``replay`` verb's parser, generated from :class:`ReplayPlan`.
+
+    Every flag comes from the plan's dataclass field metadata
+    (:func:`repro.experiments.plan.add_plan_arguments`), so the CLI and the
+    service's wire API expose exactly the same surface and cannot drift.
+    """
     parser = argparse.ArgumentParser(
         prog="grass-experiments replay",
         description="Replay a JSONL trace through the engine under one or "
         "more speculation policies.",
     )
-    parser.add_argument(
-        "--trace",
-        default=None,
-        metavar="PATH",
-        help="JSONL trace file (one {job_id, arrival_time, task_durations} "
-        "object per line); exactly one of --trace / --cluster-jobs",
-    )
-    parser.add_argument(
-        "--cluster-jobs",
-        type=int,
-        default=None,
-        metavar="N",
-        help="replay the generated cluster-scale tier at N jobs instead of a "
-        "trace file: jobs are generated lazily (seeded by --seed, "
-        "byte-reproducible, log-normal sizes) — combine with --stream-specs "
-        "--sink aggregate to replay a million jobs with O(concurrent jobs) "
-        "resident state",
-    )
-    parser.add_argument(
-        "--policy",
-        action="append",
-        default=None,
-        metavar="NAME",
-        help="policy to replay under (repeatable; default: grass and late)",
-    )
-    parser.add_argument(
-        "--scale",
-        choices=sorted(_SCALES),
-        default="default",
-        help="cluster scale (machines, seeds); the trace decides the workload",
-    )
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        metavar="N",
-        help="worker processes for the (policy, seed, shard) fan-out; "
-        "1 = serial (default), 0 = auto; results are bit-identical for any value",
-    )
-    parser.add_argument(
-        "--shards",
-        type=int,
-        default=1,
-        metavar="K",
-        help="split the trace into K arrival-window shards, each replayed as "
-        "an independent simulation (default 1)",
-    )
-    parser.add_argument(
-        "--stream",
-        action="store_true",
-        help="bounded-memory streaming pipeline: parse shard k+1 while shard "
-        "k simulates, never materialising the full trace; the metrics digest "
-        "is identical to the batch path at the same --shards count (requires "
-        "an arrival-sorted trace)",
-    )
-    parser.add_argument(
-        "--max-resident-shards",
-        type=int,
-        default=2,
-        metavar="N",
-        help="with --stream: at most N shard workloads resident in the main "
-        "process at once (default 2: parse one shard ahead; 1 disables "
-        "pipelining; larger N admits more cross-shard parallelism)",
-    )
-    parser.add_argument(
-        "--stream-specs",
-        action="store_true",
-        help="stream job specs lazily inside each simulation: requests carry "
-        "a trace window description instead of materialised spec lists and "
-        "the engine evicts finished jobs, bounding resident state to the max "
-        "number of concurrent jobs — even with --shards 1; the digest is "
-        "identical to the batch path at the same --shards count (requires an "
-        "arrival-sorted trace)",
-    )
-    parser.add_argument(
-        "--sink",
-        default="retain",
-        metavar="KIND",
-        help="where per-job results go: 'retain' (default — keep every "
-        "JobResult in memory), 'aggregate' (fold each result into "
-        "constant-size mergeable aggregates on arrival; resident memory "
-        "becomes independent of trace length) or 'jsonl:DIR' (spill one "
-        "JSON row per result under DIR, aggregates in memory); the metrics "
-        "digest and summary table are identical for every kind",
-    )
-    parser.add_argument(
-        "--framework",
-        default="hadoop",
-        help="execution framework profile: hadoop (default) or spark",
-    )
-    parser.add_argument(
-        "--bound-kind",
-        choices=(BOUND_DEADLINE, BOUND_ERROR, BOUND_EXACT, BOUND_MIXED),
-        default=BOUND_MIXED,
-        help="approximation bounds assigned to replayed jobs (default mixed)",
-    )
-    parser.add_argument(
-        "--seed",
-        type=int,
-        default=0,
-        help="seed for the per-job bound/slot assignment (default 0)",
-    )
+    add_plan_arguments(parser)
     return parser
 
 
@@ -340,139 +248,44 @@ def ingest_main(argv: List[str]) -> int:
     return 0
 
 
-def metrics_digest(comparison: ComparisonResult) -> str:
-    """SHA-256 over the merged per-job results, canonically serialised.
-
-    Two replays that produce byte-identical metrics — the determinism
-    contract of ``--workers`` — print the same digest, so shell scripts can
-    compare runs without parsing tables.
-
-    The digest is built from each run's mergeable aggregates: every
-    simulation folds a rolling sha256 over its results' canonical encodings
-    (``repro.simulator.sinks.encode_result``) as they arrive, and this
-    function hashes the policy names plus those per-simulation digests in
-    the deterministic (policy, seed, shard) merge order.  Because *every*
-    sink maintains that rolling digest, ``--sink aggregate`` prints a digest
-    byte-identical to the retain path while holding zero ``JobResult``
-    objects — and the digest stays identical across ``--workers``,
-    ``--stream`` and ``--stream-specs`` at the same shard count, exactly as
-    before.
-    """
-    outer = hashlib.sha256()
-    for name, run in comparison.runs.items():
-        outer.update(f"policy:{name}\n".encode("utf-8"))
-        for part in run.aggregates.digest_parts():
-            outer.update(part)
-    return outer.hexdigest()
-
-
 def replay_main(argv: List[str]) -> int:
     args = build_replay_parser().parse_args(argv)
-    if args.workers < 0:
-        print("--workers must be >= 0 (0 means auto)", file=sys.stderr)
-        return 2
-    if args.shards < 1:
-        print("--shards must be >= 1", file=sys.stderr)
-        return 2
-    if args.max_resident_shards < 1:
-        print("--max-resident-shards must be >= 1", file=sys.stderr)
-        return 2
-    policies = args.policy or ["grass", "late"]
-    unknown = [name for name in policies if name not in available_policies()]
-    if unknown:
-        print(
-            f"unknown polic{'ies' if len(unknown) > 1 else 'y'} "
-            f"{', '.join(unknown)}; expected one of {', '.join(available_policies())}",
-            file=sys.stderr,
-        )
-        return 2
-    if args.framework not in available_frameworks():
-        print(
-            f"unknown framework {args.framework!r}; expected one of "
-            f"{', '.join(available_frameworks())}",
-            file=sys.stderr,
-        )
-        return 2
     try:
-        sink_factory: SinkFactory = parse_sink_spec(args.sink)
-    except ValueError:
-        print(
-            f"unknown sink {args.sink!r}; expected one of "
-            f"{', '.join(SINK_KINDS)} (jsonl takes a directory: jsonl:PATH)",
-            file=sys.stderr,
-        )
+        plan = plan_from_args(args).validate()
+    except PlanError as exc:
+        print(str(exc), file=sys.stderr)
         return 2
-    if (args.trace is None) == (args.cluster_jobs is None):
-        print("give exactly one of --trace PATH or --cluster-jobs N", file=sys.stderr)
-        return 2
-    if args.cluster_jobs is not None and args.cluster_jobs < 1:
-        print("--cluster-jobs must be >= 1", file=sys.stderr)
-        return 2
-    if args.cluster_jobs is not None:
-        source = ClusterTierConfig(num_jobs=args.cluster_jobs, seed=args.seed)
-        source_label = str(source)
-    else:
-        source = args.trace
-        source_label = args.trace
-    scale = replace(_SCALES[args.scale](), workers=args.workers)
-    replay_config = TraceReplayConfig(
-        framework=args.framework, bound_kind=args.bound_kind, seed=args.seed
-    )
+    sink_factory = parse_sink_spec(plan.sink)
     started = time.time()
-    streamed: Optional[StreamedReplay] = None
-    if args.stream or args.stream_specs:
-        try:
-            streamed = replay_stream(
-                policies,
-                source,
-                replay_config=replay_config,
-                scale=scale,
-                shards=args.shards,
-                workers=args.workers,
-                max_resident_shards=args.max_resident_shards,
-                stream_specs=args.stream_specs,
-                sink=sink_factory,
-            )
-        except FileNotFoundError:
-            print(f"trace file not found: {args.trace}", file=sys.stderr)
-            return 2
-        except TraceFormatError as exc:
-            print(f"malformed trace: {exc}", file=sys.stderr)
-            return 2
-        except ValueError as exc:
-            print(str(exc), file=sys.stderr)
-            return 2
-        comparison = streamed.comparison
-        num_jobs = streamed.num_jobs
-    else:
-        try:
-            if args.cluster_jobs is not None:
-                # Batch replay of the generated tier materialises it — fine
-                # for digest-parity checks at small N; the million-job runs
-                # belong on --stream-specs.
-                trace = list(iter_cluster_trace(source))
-            else:
-                trace = load_trace(args.trace)
-        except FileNotFoundError:
-            print(f"trace file not found: {args.trace}", file=sys.stderr)
-            return 2
-        except TraceFormatError as exc:
-            print(f"malformed trace: {exc}", file=sys.stderr)
-            return 2
-        if not trace:
-            print(f"trace is empty: {source_label}", file=sys.stderr)
-            return 2
-        comparison = replay(
-            policies,
-            trace,
-            replay_config=replay_config,
-            scale=scale,
-            shards=args.shards,
-            workers=args.workers,
-            sink=sink_factory,
-        )
-        num_jobs = len(trace)
+    try:
+        executed = execute(plan)
+    except PlanError as exc:  # discovered at execution time (empty trace, ...)
+        print(str(exc), file=sys.stderr)
+        return 2
+    except FileNotFoundError:
+        print(f"trace file not found: {plan.trace}", file=sys.stderr)
+        return 2
+    except IsADirectoryError:
+        print(f"trace path is a directory, not a JSONL file: {plan.trace}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        # Satellite fix: any unreadable trace (permissions, I/O, ...) is a
+        # one-line named error and a nonzero exit, never a traceback.
+        reason = exc.strerror or str(exc)
+        print(f"cannot read trace {plan.trace}: {reason}", file=sys.stderr)
+        return 2
+    except TraceFormatError as exc:
+        print(f"malformed trace: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     elapsed = time.time() - started
+    comparison = executed.comparison
+    num_jobs = executed.num_jobs
+    streamed = executed.streamed
+    scale = plan_scale(plan)
+    source_label = plan.source_label
 
     # Accuracy is the paper's metric for deadline-bound jobs and duration the
     # metric for error-bound jobs; a column shows "-" when the replay assigned
@@ -483,15 +296,15 @@ def replay_main(argv: List[str]) -> int:
         f"{'policy':<22} | {'results':>7} | {'avg accuracy (deadline)':>23} | "
         f"{'avg duration (error)':>20} | {'bound met':>9} | {'spec copies':>11}"
     )
-    if args.stream_specs:
+    if plan.stream_specs:
         mode = " (streaming specs)"
-    elif args.stream:
+    elif plan.stream:
         mode = " (streaming)"
     else:
         mode = ""
     print(
-        f"Replayed {source_label}{mode}: {num_jobs} jobs, {args.shards} shard(s), "
-        f"{len(scale.seeds)} seed(s), workers={args.workers}, sink={args.sink}"
+        f"Replayed {source_label}{mode}: {num_jobs} jobs, {plan.shards} shard(s), "
+        f"{len(scale.seeds)} seed(s), workers={plan.workers}, sink={plan.sink}"
     )
     print(header)
     print("-" * len(header))
@@ -499,7 +312,7 @@ def replay_main(argv: List[str]) -> int:
     # maintained by every sink — so the rows (like the digest below) are
     # byte-identical whether the raw results were retained, folded away or
     # spilled to disk.
-    for name in policies:
+    for name in plan.policies:
         aggregates = comparison.runs[name].aggregates
         accuracy = (
             f"{aggregates.average_accuracy:.4f}" if aggregates.deadline_jobs else "-"
@@ -550,6 +363,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return replay_main(argv[1:])
     if argv and argv[0] == "ingest":
         return ingest_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # Imported lazily: the service pulls in asyncio machinery the
+        # figure/replay verbs never need.
+        from repro.service.server import build_serve_parser, serve_main
+
+        return serve_main(build_serve_parser().parse_args(argv[1:]))
     args = build_parser().parse_args(argv)
     if args.workers < 0:
         print("--workers must be >= 0 (0 means auto)", file=sys.stderr)

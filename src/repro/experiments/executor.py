@@ -41,12 +41,14 @@ which keeps unit tests and platforms without ``fork`` happy.
 
 from __future__ import annotations
 
+import asyncio
+import concurrent.futures
 import multiprocessing
 import os
 import traceback
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.policies.base import SpeculationPolicy
 from repro.experiments.policies import make_policy
@@ -316,3 +318,69 @@ class ParallelExecutor:
                     in_flight.append(("local", request))
             while in_flight:
                 yield resolve(in_flight.popleft())
+
+
+class AsyncBridge:
+    """Asyncio-facing bridge over the blocking simulation machinery.
+
+    The replay service's front end is a single-threaded event loop;
+    simulations are CPU-bound blocking calls that may themselves fan out
+    over a :class:`ParallelExecutor` multiprocessing pool.  The bridge owns
+    a *bounded* thread pool — the service's in-flight plan capacity — and
+    provides the two primitives an always-on server needs:
+
+    * :meth:`submit` — run a blocking callable (typically
+      ``runner.execute(plan, on_metrics=...)``) off-loop and await its
+      result.  At most ``max_concurrent`` such calls execute at once;
+      excess submissions wait in the thread pool's queue, which is why the
+      server performs *admission* before ever reaching the bridge.
+    * :meth:`loop_callback` — wrap a loop-side callable so worker threads
+      can invoke it mid-run; invocations are marshalled onto the event loop
+      with ``call_soon_threadsafe``.  This is how per-shard metrics hooks
+      become streamed delta messages without the blocking thread ever
+      touching asyncio state.
+
+    The bridge is deliberately thin: it adds no queueing semantics of its
+    own (admission owns fairness) and no result reordering (plan execution
+    is already deterministic), so the service-side digest of a plan is the
+    offline ``execute(plan)`` digest by construction.
+    """
+
+    def __init__(self, max_concurrent: int = 2) -> None:
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be at least 1")
+        self.max_concurrent = max_concurrent
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=max_concurrent, thread_name_prefix="replay-plan"
+        )
+
+    async def submit(self, func: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Run ``func(*args, **kwargs)`` on the bridge pool and await it."""
+        loop = asyncio.get_running_loop()
+        if kwargs:
+            call = lambda: func(*args, **kwargs)  # noqa: E731
+        elif args:
+            call = lambda: func(*args)  # noqa: E731
+        else:
+            call = func
+        return await loop.run_in_executor(self._pool, call)
+
+    @staticmethod
+    def loop_callback(callback: Callable[..., None]) -> Callable[..., None]:
+        """A thread-safe wrapper invoking ``callback`` on the current loop.
+
+        Must be called *on* the event loop (it captures the running loop);
+        the returned callable may then be handed to blocking code running in
+        any thread.  Invocations are fire-and-forget: they are queued to the
+        loop in call order, which preserves the deterministic shard-major
+        delta order of ``runner.execute``'s ``on_metrics`` hook.
+        """
+        loop = asyncio.get_running_loop()
+
+        def schedule(*args: Any) -> None:
+            loop.call_soon_threadsafe(callback, *args)
+
+        return schedule
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)

@@ -9,8 +9,9 @@ per error bin.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.bounds import BoundType
 from repro.core.job import JobResult
@@ -19,6 +20,7 @@ from pathlib import Path
 from typing import Union
 
 from repro.experiments.executor import ParallelExecutor, RunRequest
+from repro.experiments.plan import ReplayPlan, PlanError
 from repro.experiments.policies import needs_oracle_estimates
 from repro.experiments.warmup import (
     WarmupCache,
@@ -33,6 +35,8 @@ from repro.simulator.metrics import MetricsCollector
 from repro.simulator.sinks import (
     SinkFactory,
     StreamingAggregates,
+    fold_run_digests,
+    parse_sink_spec,
     results_with_bound,
 )
 from repro.workload.synthetic import GeneratedWorkload, WorkloadConfig, generate_workload
@@ -49,8 +53,14 @@ from repro.workload.trace_replay import (
     straggler_cap_from_ratio,
     trace_to_workload,
 )
-from repro.workload.traces import TraceJob, iter_trace, scan_jobs, scan_trace
+from repro.workload.traces import TraceJob, iter_trace, load_trace, scan_jobs, scan_trace
 from repro.utils.stats import mean
+
+#: Hook invoked as each (policy, seed, shard) simulation's metrics land, in
+#: the deterministic merge order: ``(policy_name, seed, shard_index, metrics)``.
+#: The replay service uses it to stream per-tenant aggregate deltas while the
+#: plan is still executing.
+MetricsHook = Callable[[str, int, int, MetricsCollector], None]
 
 #: Offset added to a workload's seed to derive its warm-up seed.  The
 #: warm-up workload *and* the warm-up simulation share this seed, so warmed
@@ -103,6 +113,15 @@ class ExperimentScale:
             seeds=(1, 2, 3),
             warmup_jobs=150,
         )
+
+
+#: Experiment-scale factories keyed by the names a :class:`ReplayPlan` (and
+#: the CLI's ``--scale`` flag) may reference.
+SCALE_FACTORIES = {
+    "quick": ExperimentScale.quick,
+    "default": ExperimentScale,
+    "paper": ExperimentScale.paper,
+}
 
 
 @dataclass
@@ -322,7 +341,7 @@ class ComparisonResult:
         return improvements
 
 
-def replay(
+def _execute_replay(
     policy_names: Sequence[str],
     trace: Sequence[TraceJob],
     replay_config: Optional[TraceReplayConfig] = None,
@@ -330,6 +349,7 @@ def replay(
     shards: int = 1,
     workers: Optional[int] = None,
     sink: Optional[SinkFactory] = None,
+    on_metrics: Optional[MetricsHook] = None,
 ) -> ComparisonResult:
     """Replay a trace under the named policies and collect their results.
 
@@ -400,15 +420,50 @@ def replay(
     index = 0
     for name in policy_names:
         run = PolicyRun(policy_name=name)
-        for _seed in scale.seeds:
-            for _shard in shard_workloads:
+        for seed in scale.seeds:
+            for shard_index, _shard in enumerate(shard_workloads):
                 metrics = all_metrics[index]
                 index += 1
                 if metrics.retains_results:
                     run.results.extend(metrics.results)
                 run.metrics.append(metrics)
+                if on_metrics is not None:
+                    on_metrics(name, seed, shard_index, metrics)
         comparison.runs[name] = run
     return comparison
+
+
+def replay(
+    policy_names: Sequence[str],
+    trace: Sequence[TraceJob],
+    replay_config: Optional[TraceReplayConfig] = None,
+    scale: Optional[ExperimentScale] = None,
+    shards: int = 1,
+    workers: Optional[int] = None,
+    sink: Optional[SinkFactory] = None,
+) -> ComparisonResult:
+    """Deprecated: build a :class:`ReplayPlan` and call :func:`execute`.
+
+    Thin shim over the batch replay internals, kept for one release so
+    existing callers keep working; it is byte-identical to
+    ``execute(plan)`` with ``stream=stream_specs=False`` over the same
+    trace.  See :mod:`repro.experiments.plan` for the replacement API.
+    """
+    warnings.warn(
+        "runner.replay() is deprecated and will be removed in the next "
+        "release; build a ReplayPlan and call runner.execute(plan)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _execute_replay(
+        policy_names,
+        trace,
+        replay_config=replay_config,
+        scale=scale,
+        shards=shards,
+        workers=workers,
+        sink=sink,
+    )
 
 
 class _ResidencyTracker:
@@ -476,7 +531,7 @@ def _scan_source(source: TraceSource):
     return scan_trace(source)
 
 
-def replay_stream(
+def _execute_replay_stream(
     policy_names: Sequence[str],
     trace_path: TraceSource,
     replay_config: Optional[TraceReplayConfig] = None,
@@ -486,6 +541,7 @@ def replay_stream(
     max_resident_shards: int = 2,
     stream_specs: bool = False,
     sink: Optional[SinkFactory] = None,
+    on_metrics: Optional[MetricsHook] = None,
 ) -> StreamedReplay:
     """Replay a JSONL trace as a bounded-memory streaming pipeline.
 
@@ -685,6 +741,13 @@ def replay_stream(
             (policy_names[name_index], scale.seeds[seed_index], shard_index)
         ] = metrics
         peak_resident_jobs = max(peak_resident_jobs, metrics.peak_resident_jobs)
+        if on_metrics is not None:
+            # Completion order here is request order — shard-major — so a
+            # streaming consumer (the replay service's delta emitter) sees
+            # shard k's chunks before any of shard k+1's.
+            on_metrics(
+                policy_names[name_index], scale.seeds[seed_index], shard_index, metrics
+            )
         if not stream_specs and remainder == per_shard - 1:
             residency.freed()
     if stream_specs and collect_metadata:
@@ -729,6 +792,184 @@ def replay_stream(
         peak_resident_shards=residency.peak,
         stream_specs=stream_specs,
         peak_resident_jobs=peak_resident_jobs,
+    )
+
+
+def replay_stream(
+    policy_names: Sequence[str],
+    trace_path: TraceSource,
+    replay_config: Optional[TraceReplayConfig] = None,
+    scale: Optional[ExperimentScale] = None,
+    shards: int = 1,
+    workers: Optional[int] = None,
+    max_resident_shards: int = 2,
+    stream_specs: bool = False,
+    sink: Optional[SinkFactory] = None,
+) -> StreamedReplay:
+    """Deprecated: build a :class:`ReplayPlan` and call :func:`execute`.
+
+    Thin shim over the streaming replay internals, kept for one release so
+    existing callers keep working; ``execute(plan)`` with ``stream=True``
+    (or ``stream_specs=True``) is byte-identical.  See
+    :mod:`repro.experiments.plan` for the replacement API.
+    """
+    warnings.warn(
+        "runner.replay_stream() is deprecated and will be removed in the "
+        "next release; build a ReplayPlan and call runner.execute(plan)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _execute_replay_stream(
+        policy_names,
+        trace_path,
+        replay_config=replay_config,
+        scale=scale,
+        shards=shards,
+        workers=workers,
+        max_resident_shards=max_resident_shards,
+        stream_specs=stream_specs,
+        sink=sink,
+    )
+
+
+def metrics_digest(comparison: ComparisonResult) -> str:
+    """SHA-256 over the merged per-job results, canonically serialised.
+
+    Two replays that produce byte-identical metrics — the determinism
+    contract of ``workers`` — share the same digest, so scripts (and the
+    replay service's clients) can compare runs without parsing tables.  The
+    digest is the policy-tagged fold of each run's per-simulation chunk
+    digests in the deterministic (policy, seed, shard) merge order
+    (:func:`repro.simulator.sinks.fold_run_digests`); every sink maintains
+    those chunk digests identically, so the value is byte-identical across
+    ``--sink``, ``--stream``/``--stream-specs`` and ``--workers`` at the
+    same shard count.
+    """
+    return fold_run_digests(
+        (name, run.aggregates.digest_parts()) for name, run in comparison.runs.items()
+    )
+
+
+@dataclass
+class ExecutedPlan:
+    """Result of :func:`execute`: the comparison plus the plan's provenance."""
+
+    plan: ReplayPlan
+    comparison: ComparisonResult
+    #: Jobs in the replayed source (the trace's job count, not results rows).
+    num_jobs: int
+    #: Arrival-window shards the source was actually split into.
+    num_shards: int
+    #: Streaming pipeline gauges; ``None`` when the plan ran in batch mode.
+    streamed: Optional[StreamedReplay] = None
+
+    @property
+    def digest(self) -> str:
+        """The policy-tagged metrics digest (see :func:`metrics_digest`)."""
+        return metrics_digest(self.comparison)
+
+    @property
+    def truncated_jobs(self) -> int:
+        """Job runs cut off by ``max_simulated_time``, summed over all runs."""
+        return sum(
+            metrics.truncated_jobs
+            for run in self.comparison.runs.values()
+            for metrics in run.metrics
+        )
+
+
+def plan_scale(plan: ReplayPlan) -> ExperimentScale:
+    """The :class:`ExperimentScale` a plan executes under.
+
+    The named scale contributes cluster size and default seeds; the plan's
+    ``workers`` (and explicit ``seeds``, when given) override it.
+    """
+    scale = SCALE_FACTORIES[plan.scale]()
+    overrides = {"workers": plan.workers}
+    if plan.seeds is not None:
+        overrides["seeds"] = tuple(plan.seeds)
+    return replace(scale, **overrides)
+
+
+def plan_source(plan: ReplayPlan) -> TraceSource:
+    """The replay source a plan names: a trace path or a generated tier."""
+    if plan.cluster_jobs is not None:
+        return ClusterTierConfig(num_jobs=plan.cluster_jobs, seed=plan.seed)
+    return plan.trace
+
+
+def execute(plan: ReplayPlan, on_metrics: Optional[MetricsHook] = None) -> ExecutedPlan:
+    """Execute a :class:`ReplayPlan` — the single entry point for replay.
+
+    Everything the deprecated ``replay()`` / ``replay_stream()`` pair (and
+    their ``stream_specs=`` / ``sink=`` knobs) could express is one plan
+    field here, and the plan round-trips through JSON, so the offline CLI,
+    the test matrix and the always-on replay service all execute the *same*
+    object.  Determinism carries over unchanged: for a given plan the
+    metrics digest is byte-identical across ``workers``, modes and sinks at
+    the same shard count.
+
+    ``on_metrics`` is invoked as each (policy, seed, shard) simulation's
+    metrics land — shard-major completion order under streaming modes, merge
+    order in batch mode — which is the hook the service's per-tenant delta
+    streaming builds on.
+
+    Raises :class:`~repro.experiments.plan.PlanError` on an invalid plan,
+    ``FileNotFoundError`` / ``OSError`` when a trace path cannot be read and
+    ``TraceFormatError`` on malformed traces.
+    """
+    plan.validate()
+    scale = plan_scale(plan)
+    replay_config = TraceReplayConfig(
+        framework=plan.framework, bound_kind=plan.bound_kind, seed=plan.seed
+    )
+    sink = parse_sink_spec(plan.sink)
+    source = plan_source(plan)
+    if plan.streaming:
+        streamed = _execute_replay_stream(
+            plan.policies,
+            source,
+            replay_config=replay_config,
+            scale=scale,
+            shards=plan.shards,
+            workers=plan.workers,
+            max_resident_shards=plan.max_resident_shards,
+            stream_specs=plan.stream_specs,
+            sink=sink,
+            on_metrics=on_metrics,
+        )
+        return ExecutedPlan(
+            plan=plan,
+            comparison=streamed.comparison,
+            num_jobs=streamed.num_jobs,
+            num_shards=streamed.num_shards,
+            streamed=streamed,
+        )
+    if isinstance(source, ClusterTierConfig):
+        # Batch replay of the generated tier materialises it — fine for
+        # digest-parity checks at small N; million-job runs belong on
+        # ``stream_specs``.
+        trace = list(iter_cluster_trace(source))
+    else:
+        trace = load_trace(source)
+    if not trace:
+        raise PlanError(f"trace is empty: {plan.source_label}")
+    comparison = _execute_replay(
+        plan.policies,
+        trace,
+        replay_config=replay_config,
+        scale=scale,
+        shards=plan.shards,
+        workers=plan.workers,
+        sink=sink,
+        on_metrics=on_metrics,
+    )
+    return ExecutedPlan(
+        plan=plan,
+        comparison=comparison,
+        num_jobs=len(trace),
+        num_shards=min(plan.shards, len(trace)),
+        streamed=None,
     )
 
 

@@ -1,0 +1,44 @@
+"""Always-on multi-tenant replay service.
+
+GRASS exists to serve *interactive* approximation queries — the paper's
+production setting is Bing/Facebook clusters answering live analytics under
+deadline/error bounds — yet everything else in this repo is an offline batch
+CLI invocation.  This package promotes the library into a long-running
+service:
+
+* :mod:`repro.service.protocol` — the JSONL wire protocol: clients submit
+  :class:`~repro.experiments.plan.ReplayPlan` objects as JSON and receive
+  per-shard :class:`~repro.simulator.sinks.StreamingAggregates` delta
+  chunks, ending with the policy-tagged metrics digest.
+* :mod:`repro.service.admission` — weighted fair-share admission across
+  tenants (the intra-simulation fair scheduler, one level up): per-tenant
+  bounded queues, a bounded total backlog, and explicit 429-style rejection
+  under overload — never unbounded buffering.
+* :mod:`repro.service.server` — the asyncio front end multiplexing accepted
+  plans onto the blocking executor machinery through
+  :class:`~repro.experiments.executor.AsyncBridge`.
+* :mod:`repro.service.client` — an asyncio client (plus sync helpers) that
+  submits plans, collects streamed deltas and re-derives the digest
+  client-side, so "streamed == offline" is verifiable end to end.
+* :mod:`repro.service.load` — the load driver behind the CI service-smoke
+  and the ``service-load`` benchmark: N concurrent tenants, digest parity
+  against offline ``execute(plan)``, and an overload burst asserting
+  explicit rejections.
+
+Start a server with ``grass-experiments serve``; see the README's
+"Replay service" section for a quickstart.
+"""
+
+from repro.service.admission import AdmissionRejected, FairShareAdmission
+from repro.service.client import PlanOutcome, ReplayServiceClient, run_plan_sync
+from repro.service.server import ReplayService, ServiceConfig
+
+__all__ = [
+    "AdmissionRejected",
+    "FairShareAdmission",
+    "PlanOutcome",
+    "ReplayService",
+    "ReplayServiceClient",
+    "ServiceConfig",
+    "run_plan_sync",
+]

@@ -1,0 +1,256 @@
+"""Client for the replay service, with client-side digest verification.
+
+:class:`ReplayServiceClient` speaks the JSONL protocol over an asyncio
+connection; :func:`run_plan_sync` wraps one submission in ``asyncio.run``
+for scripts and tests that live outside an event loop.
+
+The distinguishing feature is that the client does not have to *trust* the
+server's digest: every streamed delta carries its (policy, seed, shard)
+coordinates and its chunk's rolling sha256, the ``done`` message carries
+the deterministic merge order, and :meth:`PlanOutcome.client_digest`
+refolds the received chunks through the same
+:func:`~repro.simulator.sinks.fold_run_digests` the offline path uses.
+``outcome.verify()`` therefore proves the streamed aggregates are
+byte-equivalent to an offline ``execute(plan)`` — the service's parity
+contract, checked end to end on every session that cares to.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.plan import ReplayPlan
+from repro.service import protocol
+from repro.simulator.sinks import (
+    AggregateChunk,
+    StreamingAggregates,
+    chunk_from_wire,
+    fold_run_digests,
+)
+
+
+class ServiceError(RuntimeError):
+    """The server reported an execution error or violated the protocol."""
+
+
+class PlanRejected(RuntimeError):
+    """The server refused a submission; mirrors the ``rejected`` frame."""
+
+    def __init__(self, code: int, reason: str) -> None:
+        super().__init__(f"rejected ({code}): {reason}")
+        self.code = code
+        self.reason = reason
+
+
+@dataclass
+class DeltaRecord:
+    """One streamed (policy, seed, shard) aggregate chunk."""
+
+    policy: str
+    seed: int
+    shard: int
+    chunk: AggregateChunk
+    #: Seconds from submission to this delta's arrival at the client.
+    latency_seconds: float
+
+
+@dataclass
+class PlanOutcome:
+    """Everything one completed submission streamed back."""
+
+    request_id: int
+    tenant: str
+    plan: ReplayPlan
+    #: The server's policy-tagged metrics digest.
+    digest: str
+    num_jobs: int
+    num_shards: int
+    #: Policies in merge (report) order, echoed by the server.
+    policies: List[str]
+    #: Resolved simulation seeds in merge order, echoed by the server.
+    seeds: List[int]
+    truncated_jobs: int
+    #: Server-side execution time for the plan.
+    elapsed_ms: float
+    deltas: List[DeltaRecord] = field(default_factory=list)
+    #: Client-observed submission→first-delta latency (None: no deltas).
+    first_delta_seconds: Optional[float] = None
+    #: Client-observed submission→done latency.
+    total_seconds: float = 0.0
+
+    def _ordered_chunks(self) -> Dict[Tuple[str, int, int], AggregateChunk]:
+        by_key = {(d.policy, d.seed, d.shard): d.chunk for d in self.deltas}
+        expected = {
+            (policy, seed, shard)
+            for policy in self.policies
+            for seed in self.seeds
+            for shard in range(self.num_shards)
+        }
+        missing = expected - set(by_key)
+        surplus = set(by_key) - expected
+        if missing or surplus:
+            raise ServiceError(
+                f"delta set does not match plan fan-out: {len(missing)} missing, "
+                f"{len(surplus)} unexpected"
+            )
+        return by_key
+
+    def client_digest(self) -> str:
+        """Refold the received deltas into the policy-tagged digest.
+
+        Deltas arrive in completion order; this reorders them into the
+        deterministic (policy, seed, shard) merge order the server (and the
+        offline path) folds in, using only the coordinates on the wire.
+        """
+        by_key = self._ordered_chunks()
+        return fold_run_digests(
+            (
+                policy,
+                [
+                    by_key[(policy, seed, shard)].digest
+                    for seed in self.seeds
+                    for shard in range(self.num_shards)
+                ],
+            )
+            for policy in self.policies
+        )
+
+    def aggregates_for(self, policy: str) -> StreamingAggregates:
+        """The policy's merged aggregates, reassembled from deltas."""
+        by_key = self._ordered_chunks()
+        return StreamingAggregates(
+            chunks=tuple(
+                by_key[(policy, seed, shard)]
+                for seed in self.seeds
+                for shard in range(self.num_shards)
+            )
+        )
+
+    def verify(self) -> str:
+        """Check client digest == server digest; returns it or raises."""
+        refolded = self.client_digest()
+        if refolded != self.digest:
+            raise ServiceError(
+                f"digest mismatch: server {self.digest}, client refold {refolded}"
+            )
+        return refolded
+
+
+class ReplayServiceClient:
+    """One JSONL connection to a replay service (one tenant session)."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def __aenter__(self) -> "ReplayServiceClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = None
+            self._writer = None
+
+    async def _send(self, message: Dict[str, object]) -> None:
+        assert self._writer is not None, "not connected"
+        self._writer.write(protocol.encode_message(message))
+        await self._writer.drain()
+
+    async def _receive(self) -> Dict[str, object]:
+        assert self._reader is not None, "not connected"
+        line = await self._reader.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        return protocol.decode_message(line)
+
+    async def ping(self) -> None:
+        await self._send(protocol.ping_message())
+        reply = await self._receive()
+        if reply.get("event") != "pong":
+            raise ServiceError(f"expected pong, got {reply!r}")
+
+    async def run_plan(self, plan: ReplayPlan, tenant: str) -> PlanOutcome:
+        """Submit ``plan`` and collect its stream through ``done``.
+
+        Raises :class:`PlanRejected` on a ``rejected`` answer and
+        :class:`ServiceError` on an ``error`` event or protocol violation.
+        """
+        submitted_at = time.perf_counter()
+        await self._send(protocol.submit_message(tenant, plan.to_wire()))
+        request_id: Optional[int] = None
+        deltas: List[DeltaRecord] = []
+        first_delta: Optional[float] = None
+        while True:
+            message = await self._receive()
+            event = message.get("event")
+            if event == "rejected":
+                raise PlanRejected(int(message["code"]), str(message["reason"]))
+            if event == "accepted":
+                request_id = int(message["id"])
+                continue
+            if event == "pong":
+                continue
+            if message.get("id") != request_id:
+                # A frame for another submission on a shared connection;
+                # this client runs one plan at a time, so this is a bug.
+                raise ServiceError(f"frame for unexpected id: {message!r}")
+            if event == "delta":
+                now = time.perf_counter()
+                if first_delta is None:
+                    first_delta = now - submitted_at
+                deltas.append(
+                    DeltaRecord(
+                        policy=str(message["policy"]),
+                        seed=int(message["seed"]),
+                        shard=int(message["shard"]),
+                        chunk=chunk_from_wire(message["chunk"]),
+                        latency_seconds=now - submitted_at,
+                    )
+                )
+            elif event == "error":
+                raise ServiceError(str(message["reason"]))
+            elif event == "done":
+                return PlanOutcome(
+                    request_id=request_id if request_id is not None else -1,
+                    tenant=tenant,
+                    plan=plan,
+                    digest=str(message["digest"]),
+                    num_jobs=int(message["num_jobs"]),
+                    num_shards=int(message["num_shards"]),
+                    policies=[str(p) for p in message["policies"]],
+                    seeds=[int(s) for s in message["seeds"]],
+                    truncated_jobs=int(message["truncated_jobs"]),
+                    elapsed_ms=float(message["elapsed_ms"]),
+                    deltas=deltas,
+                    first_delta_seconds=first_delta,
+                    total_seconds=time.perf_counter() - submitted_at,
+                )
+            else:
+                raise ServiceError(f"unknown event {event!r}")
+
+
+def run_plan_sync(host: str, port: int, plan: ReplayPlan, tenant: str) -> PlanOutcome:
+    """Connect, run one plan, disconnect — for synchronous callers."""
+
+    async def _run() -> PlanOutcome:
+        async with ReplayServiceClient(host, port) as client:
+            return await client.run_plan(plan, tenant)
+
+    return asyncio.run(_run())

@@ -142,6 +142,16 @@ class StreamingAggregates:
         """Per-chunk sha256 digests, in merge order (see ``metrics_digest``)."""
         return [chunk.digest for chunk in self.chunks]
 
+    # -- wire format -----------------------------------------------------------
+
+    def to_wire(self) -> List[Dict[str, object]]:
+        """Plain-JSON chunk list; inverse of :meth:`from_wire`."""
+        return [chunk_to_wire(chunk) for chunk in self.chunks]
+
+    @classmethod
+    def from_wire(cls, wire: Iterable[Dict[str, object]]) -> "StreamingAggregates":
+        return cls(chunks=tuple(chunk_from_wire(entry) for entry in wire))
+
     # -- totals ----------------------------------------------------------------
 
     @property
@@ -216,6 +226,78 @@ class StreamingAggregates:
             for bin_name, stats in pick(chunk).items():
                 merged.setdefault(bin_name, OnlineStats()).merge(stats)
         return merged
+
+
+def chunk_to_wire(chunk: AggregateChunk) -> Dict[str, object]:
+    """One aggregate chunk as a plain-JSON dict — the service's delta payload.
+
+    This is the streaming wire format of the replay service: each completed
+    (policy, seed, shard) simulation ships exactly one chunk, constant-size
+    regardless of how many jobs it simulated, and a client folds received
+    chunks back into a :class:`StreamingAggregates` with plain concatenation.
+    The rolling result digest travels as hex, so client-side digest
+    verification is byte-exact and independent of float formatting.
+    """
+    return {
+        "jobs": chunk.jobs,
+        "deadline_jobs": chunk.deadline_jobs,
+        "error_jobs": chunk.error_jobs,
+        "exact_jobs": chunk.exact_jobs,
+        "bound_met_jobs": chunk.bound_met_jobs,
+        "speculative_copies": chunk.speculative_copies,
+        "deadline_accuracy": chunk.deadline_accuracy.to_wire(),
+        "error_duration": chunk.error_duration.to_wire(),
+        "bin_counts": dict(chunk.bin_counts),
+        "accuracy_by_bin": {
+            name: stats.to_wire() for name, stats in chunk.accuracy_by_bin.items()
+        },
+        "duration_by_bin": {
+            name: stats.to_wire() for name, stats in chunk.duration_by_bin.items()
+        },
+        "digest": chunk.digest.hex(),
+    }
+
+
+def chunk_from_wire(wire: Dict[str, object]) -> AggregateChunk:
+    """Inverse of :func:`chunk_to_wire` (exact round-trip, digest included)."""
+    return AggregateChunk(
+        jobs=int(wire["jobs"]),
+        deadline_jobs=int(wire["deadline_jobs"]),
+        error_jobs=int(wire["error_jobs"]),
+        exact_jobs=int(wire["exact_jobs"]),
+        bound_met_jobs=int(wire["bound_met_jobs"]),
+        speculative_copies=int(wire["speculative_copies"]),
+        deadline_accuracy=OnlineStats.from_wire(wire["deadline_accuracy"]),
+        error_duration=OnlineStats.from_wire(wire["error_duration"]),
+        bin_counts={name: int(count) for name, count in wire["bin_counts"].items()},
+        accuracy_by_bin={
+            name: OnlineStats.from_wire(stats)
+            for name, stats in wire["accuracy_by_bin"].items()
+        },
+        duration_by_bin={
+            name: OnlineStats.from_wire(stats)
+            for name, stats in wire["duration_by_bin"].items()
+        },
+        digest=bytes.fromhex(wire["digest"]),
+    )
+
+
+def fold_run_digests(named_parts: Iterable[Tuple[str, Iterable[bytes]]]) -> str:
+    """The policy-tagged digest fold shared by every digest consumer.
+
+    ``named_parts`` yields ``(policy_name, per-chunk digests)`` pairs in the
+    deterministic (policy, seed, shard) merge order.  The offline
+    ``metrics_digest``, the replay service's end-of-plan digest and the
+    client-side verification of streamed deltas all call this one function,
+    so "streamed aggregates match offline replay" is an equality of inputs,
+    never a reimplementation risk.
+    """
+    outer = hashlib.sha256()
+    for name, parts in named_parts:
+        outer.update(f"policy:{name}\n".encode("utf-8"))
+        for part in parts:
+            outer.update(part)
+    return outer.hexdigest()
 
 
 class _ChunkAccumulator:

@@ -150,6 +150,33 @@ class OnlineStats:
     def maximum(self) -> float:
         return self._max if self.count else 0.0
 
+    # -- wire format -----------------------------------------------------------
+
+    def to_wire(self) -> dict:
+        """Plain-JSON dict; exact round-trip via :meth:`from_wire`.
+
+        ``min``/``max`` are omitted while empty because their sentinel values
+        (``±inf``) are not representable in strict JSON.  Python's float
+        serialisation is repr-based, so every finite field round-trips to
+        the identical double — merged means computed from wire-decoded stats
+        equal the locally merged ones bit for bit.
+        """
+        wire = {"count": self.count, "mean": self._mean, "m2": self._m2}
+        if self.count:
+            wire["min"] = self._min
+            wire["max"] = self._max
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "OnlineStats":
+        return cls(
+            count=int(wire["count"]),
+            _mean=float(wire["mean"]),
+            _m2=float(wire["m2"]),
+            _min=float(wire.get("min", math.inf)),
+            _max=float(wire.get("max", -math.inf)),
+        )
+
 
 def improvement_percent(baseline: float, improved: float) -> float:
     """Relative improvement of ``improved`` over ``baseline`` in percent.

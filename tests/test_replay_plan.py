@@ -1,0 +1,299 @@
+"""The unified ReplayPlan API: round-trip, validation, CLI generation, parity.
+
+The plan is the PR-8 API collapse: one dataclass replaces the
+``replay()`` / ``replay_stream()`` / ``stream_specs=`` / ``sink=`` call
+zoo.  These tests pin its three contracts:
+
+* a plan survives the JSON wire format byte-for-byte (the service depends
+  on this — a submitted plan must be *the same experiment* offline);
+* every cross-field conflict raises exactly one :class:`PlanError` whose
+  message names both the CLI flags and the plan fields;
+* the ``replay`` CLI flags are generated from the plan's field metadata,
+  so the parser's surface and defaults cannot drift from the dataclass;
+* ``execute(plan)`` is digest-identical to the deprecated entry points it
+  replaced, across the mode × workers × sink matrix.
+"""
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro.experiments.cli import build_replay_parser
+from repro.experiments.plan import (
+    PlanError,
+    ReplayPlan,
+    add_plan_arguments,
+    plan_cli_fields,
+    plan_from_args,
+)
+from repro.experiments.runner import (
+    ExperimentScale,
+    execute,
+    plan_scale,
+    replay,
+    replay_stream,
+)
+from repro.simulator.sinks import parse_sink_spec
+from repro.workload.trace_replay import TraceReplayConfig, export_trace
+
+import argparse
+from dataclasses import replace
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("plan") / "trace.jsonl"
+    export_trace(path, num_jobs=18, size_scale=0.1, max_tasks_per_job=60, seed=7)
+    return str(path)
+
+
+class TestWireRoundTrip:
+    def test_default_plan_round_trips_through_json(self):
+        plan = ReplayPlan(trace="t.jsonl")
+        assert ReplayPlan.from_json(plan.to_json()) == plan
+
+    def test_fully_specified_plan_round_trips(self):
+        plan = ReplayPlan(
+            cluster_jobs=1000,
+            policies=("grass", "late", "gs"),
+            scale="paper",
+            seeds=(3, 1, 4),
+            workers=0,
+            shards=16,
+            stream_specs=True,
+            max_resident_shards=5,
+            sink="jsonl:out/rows",
+            framework="spark",
+            bound_kind="deadline",
+            seed=42,
+        )
+        restored = ReplayPlan.from_json(plan.to_json())
+        assert restored == plan
+        # Tuples (not lists) after the round-trip, so equality is not a fluke
+        # of sequence coercion.
+        assert isinstance(restored.policies, tuple)
+        assert isinstance(restored.seeds, tuple)
+
+    def test_every_field_appears_on_the_wire(self):
+        wire = ReplayPlan(trace="t.jsonl").to_wire()
+        assert set(wire) == {f.name for f in dataclasses.fields(ReplayPlan)}
+
+    def test_unknown_wire_field_is_rejected(self):
+        with pytest.raises(PlanError, match="unknown plan field: bogus"):
+            ReplayPlan.from_wire({"trace": "t.jsonl", "bogus": 1})
+
+    def test_non_object_payloads_are_rejected(self):
+        with pytest.raises(PlanError, match="JSON object"):
+            ReplayPlan.from_wire(["not", "a", "dict"])
+        with pytest.raises(PlanError, match="not valid JSON"):
+            ReplayPlan.from_json("{nope")
+
+
+class TestValidation:
+    def test_valid_plan_returns_itself(self):
+        plan = ReplayPlan(trace="t.jsonl")
+        assert plan.validate() is plan
+
+    @pytest.mark.parametrize(
+        "fields, message",
+        [
+            ({}, "exactly one of --trace PATH or --cluster-jobs N"),
+            ({"trace": "t", "cluster_jobs": 5}, "exactly one of --trace"),
+            ({"cluster_jobs": 0}, "--cluster-jobs must be >= 1"),
+            (
+                {"trace": "t", "stream": True, "stream_specs": True},
+                "at most one of --stream / --stream-specs",
+            ),
+            ({"trace": "t", "workers": -1}, "--workers must be >= 0"),
+            ({"trace": "t", "shards": 0}, "--shards must be >= 1"),
+            (
+                {"trace": "t", "max_resident_shards": 0},
+                "--max-resident-shards must be >= 1",
+            ),
+            ({"trace": "t", "policies": ()}, "at least one policy"),
+            ({"trace": "t", "policies": ("nope",)}, "unknown policy nope"),
+            ({"trace": "t", "scale": "galactic"}, "unknown scale 'galactic'"),
+            ({"trace": "t", "seeds": ()}, "--seeds needs at least one seed"),
+            ({"trace": "t", "framework": "dryad"}, "unknown framework 'dryad'"),
+            ({"trace": "t", "bound_kind": "vibes"}, "unknown bound kind 'vibes'"),
+            ({"trace": "t", "sink": "tape"}, "sink"),
+        ],
+    )
+    def test_each_conflict_raises_one_named_error(self, fields, message):
+        with pytest.raises(PlanError, match=message):
+            ReplayPlan(**fields).validate()
+
+    def test_mode_property_tracks_stream_flags(self):
+        assert ReplayPlan(trace="t").mode == "batch"
+        assert ReplayPlan(trace="t", stream=True).mode == "stream"
+        assert ReplayPlan(trace="t", stream_specs=True).mode == "stream-specs"
+        assert not ReplayPlan(trace="t").streaming
+        assert ReplayPlan(trace="t", stream=True).streaming
+
+
+class TestGeneratedCli:
+    """The replay parser is generated from the plan — no drift possible."""
+
+    def test_every_cli_field_has_a_flag(self):
+        parser = argparse.ArgumentParser()
+        add_plan_arguments(parser)
+        dests = {action.dest for action in parser._actions}
+        for spec in plan_cli_fields():
+            assert spec.name in dests
+
+    def test_defaults_match_the_dataclass(self):
+        args = build_replay_parser().parse_args([])
+        plan = plan_from_args(args)
+        assert plan == ReplayPlan()
+
+    def test_parsed_flags_land_in_plan_fields(self):
+        args = build_replay_parser().parse_args(
+            [
+                "--cluster-jobs", "500", "--policy", "late", "--policy", "gs",
+                "--scale", "quick", "--seeds", "5", "6", "--workers", "3",
+                "--shards", "4", "--stream-specs", "--sink", "aggregate",
+                "--framework", "spark", "--bound-kind", "error", "--seed", "9",
+            ]
+        )
+        plan = plan_from_args(args)
+        assert plan == ReplayPlan(
+            cluster_jobs=500,
+            policies=("late", "gs"),
+            scale="quick",
+            seeds=(5, 6),
+            workers=3,
+            shards=4,
+            stream_specs=True,
+            sink="aggregate",
+            framework="spark",
+            bound_kind="error",
+            seed=9,
+        )
+
+    def test_help_text_comes_from_field_metadata(self):
+        parser = build_replay_parser()
+        by_dest = {action.dest: action for action in parser._actions}
+        for spec in plan_cli_fields():
+            assert by_dest[spec.name].help == spec.metadata["cli"]["help"]
+
+
+def _legacy_digest(trace_path, plan):
+    """The digest the deprecated entry points produce for the same shape."""
+    scale = plan_scale(plan)
+    config = TraceReplayConfig(
+        framework=plan.framework, bound_kind=plan.bound_kind, seed=plan.seed
+    )
+    sink = parse_sink_spec(plan.sink)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        if plan.streaming:
+            streamed = replay_stream(
+                plan.policies,
+                trace_path,
+                replay_config=config,
+                scale=scale,
+                shards=plan.shards,
+                workers=plan.workers,
+                max_resident_shards=plan.max_resident_shards,
+                stream_specs=plan.stream_specs,
+                sink=sink,
+            )
+            comparison = streamed.comparison
+        else:
+            from repro.workload.traces import load_trace
+
+            comparison = replay(
+                plan.policies,
+                load_trace(trace_path),
+                replay_config=config,
+                scale=scale,
+                shards=plan.shards,
+                workers=plan.workers,
+                sink=sink,
+            )
+    from repro.experiments.runner import metrics_digest
+
+    return metrics_digest(comparison)
+
+
+class TestExecuteParity:
+    """execute(plan) == the deprecated API it replaced, digest for digest."""
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    @pytest.mark.parametrize(
+        "mode_fields",
+        [
+            {},
+            {"sink": "aggregate"},
+            {"stream": True},
+            {"stream_specs": True, "sink": "aggregate"},
+        ],
+        ids=["batch", "batch-aggregate", "stream", "stream-specs-aggregate"],
+    )
+    def test_digest_matches_legacy_across_matrix(self, trace_path, workers, mode_fields):
+        plan = ReplayPlan(
+            trace=trace_path,
+            policies=("late",),
+            scale="quick",
+            seeds=(1,),
+            workers=workers,
+            shards=3,
+            **mode_fields,
+        )
+        executed = execute(plan)
+        assert executed.digest == _legacy_digest(trace_path, plan)
+        assert executed.num_jobs == 18
+        assert executed.num_shards == 3
+        assert (executed.streamed is not None) == plan.streaming
+
+    def test_all_modes_agree_with_each_other(self, trace_path):
+        base = dict(
+            trace=trace_path, policies=("late",), scale="quick", seeds=(1,), shards=3
+        )
+        digests = {
+            execute(ReplayPlan(**base)).digest,
+            execute(ReplayPlan(stream=True, **base)).digest,
+            execute(ReplayPlan(stream_specs=True, sink="aggregate", **base)).digest,
+        }
+        assert len(digests) == 1
+
+    def test_cluster_tier_plan_executes_in_batch_and_stream(self):
+        base = dict(
+            cluster_jobs=30, policies=("late",), scale="quick", seeds=(1,), shards=2
+        )
+        batch = execute(ReplayPlan(**base))
+        streamed = execute(ReplayPlan(stream_specs=True, sink="aggregate", **base))
+        assert batch.digest == streamed.digest
+        assert batch.num_jobs == 30
+
+    def test_on_metrics_hook_sees_every_simulation(self, trace_path):
+        plan = ReplayPlan(
+            trace=trace_path, policies=("late", "gs"), scale="quick",
+            seeds=(1,), shards=2,
+        )
+        seen = []
+        execute(plan, on_metrics=lambda *coords: seen.append(coords[:3]))
+        assert sorted(seen) == sorted(
+            (policy, 1, shard) for policy in ("late", "gs") for shard in range(2)
+        )
+
+    def test_empty_trace_is_a_plan_error(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(PlanError, match="trace is empty"):
+            execute(ReplayPlan(trace=str(empty)))
+
+
+class TestDeprecationShims:
+    def test_replay_warns_once_per_call(self, trace_path):
+        from repro.workload.traces import load_trace
+
+        tiny = replace(ExperimentScale.quick(), seeds=(1,))
+        with pytest.warns(DeprecationWarning, match="ReplayPlan"):
+            replay(["late"], load_trace(trace_path), scale=tiny)
+
+    def test_replay_stream_warns_once_per_call(self, trace_path):
+        tiny = replace(ExperimentScale.quick(), seeds=(1,))
+        with pytest.warns(DeprecationWarning, match="ReplayPlan"):
+            replay_stream(["late"], trace_path, scale=tiny)
