@@ -1,7 +1,7 @@
 # Convenience targets; the logic lives in scripts/check.sh so CI and
 # humans run exactly the same commands.
 
-.PHONY: test bench-smoke bench-gate lint check ingest-smoke service-smoke cluster-replay
+.PHONY: test bench-smoke bench-gate analyze lint check ingest-smoke service-smoke cluster-replay
 
 test:
 	./scripts/check.sh test
@@ -11,6 +11,12 @@ bench-smoke:
 
 bench-gate:
 	./scripts/check.sh bench-gate
+
+# The repo's own determinism & safety linter (repro.analysis): stdlib-only
+# AST rules enforcing the invariants the replay digest matrix checks
+# dynamically.  Fails on any unsuppressed finding.
+analyze:
+	./scripts/check.sh analyze
 
 lint:
 	./scripts/check.sh lint

@@ -29,7 +29,7 @@ from repro.workload.profiles import framework_profile
 
 def build_counting_job(error: float, job_id: int):
     """A 300-task scan over sensor logs, allotted 60 slots (5 waves)."""
-    bound = ApproximationBound.exact() if error == 0.0 else ApproximationBound.with_error(error)
+    bound = ApproximationBound.exact() if not error else ApproximationBound.with_error(error)
     return map_only_job(
         job_id=job_id,
         task_works=[5.0] * 300,
@@ -64,7 +64,7 @@ def main() -> None:
         late = sum(durations["late"]) / 3
         grass = sum(durations["grass"]) / 3
         speedup = 100.0 * (late - grass) / late if late else 0.0
-        label = "exact" if error == 0.0 else f"{int(error * 100)}%"
+        label = "exact" if not error else f"{int(error * 100)}%"
         print(f"{label:>12} | {late:8.1f} | {grass:8.1f} | {speedup:5.1f}%")
 
 

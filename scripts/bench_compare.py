@@ -56,9 +56,9 @@ def load_payload(path: Path) -> Tuple[Dict[Key, Dict], float]:
     try:
         payload = json.loads(path.read_text())
     except OSError as exc:
-        raise usage_error(f"bench-compare: cannot read {path}: {exc}")
+        raise usage_error(f"bench-compare: cannot read {path}: {exc}") from exc
     except ValueError as exc:
-        raise usage_error(f"bench-compare: {path} is not valid JSON: {exc}")
+        raise usage_error(f"bench-compare: {path} is not valid JSON: {exc}") from exc
     records = payload.get("records")
     if not isinstance(records, list):
         raise usage_error(f"bench-compare: {path} has no 'records' list")

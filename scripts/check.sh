@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Repo check harness:
-#   ./scripts/check.sh [test|coverage|bench-smoke|bench-gate|replay-determinism|ingest-smoke|service-smoke|cluster-replay|lint|all]
+#   ./scripts/check.sh [test|coverage|bench-smoke|bench-gate|replay-determinism|ingest-smoke|service-smoke|cluster-replay|analyze|lint|all]
 #
 # * test        — the tier-1 suite (PYTHONPATH=src python -m pytest -x -q)
 # * coverage    — the tier-1 suite under pytest-cov with the line-coverage
@@ -42,10 +42,20 @@
 #                 RESIDENCY_MAX_PCT% (default 1) of the tier, and writes a
 #                 summary to CLUSTER_SUMMARY if set (the scheduled CI leg's
 #                 artifact)
+# * analyze     — the repo's own determinism & safety linter
+#                 (repro.analysis): AST rules for unseeded RNGs, wall-clock
+#                 reads, unordered iteration, float equality, pickle-unsafe
+#                 executor arguments and async-hygiene violations, with
+#                 reasoned `# repro: allow[RULE-ID] reason` suppressions;
+#                 fails on any unsuppressed finding (stdlib-only, no
+#                 install needed)
 # * lint        — ruff or flake8 when installed, otherwise a byte-compile
 #                 pass over src/tests/benchmarks/scripts/examples (the
-#                 container ships no linter; do NOT pip install one here)
-# * all         — lint, test, bench-smoke, in order
+#                 container ships no linter; do NOT pip install one here);
+#                 prints which backend actually ran so CI-vs-local
+#                 discrepancies are visible
+# * all         — lint, analyze, test, bench-smoke, in order (and reports
+#                 which lint backend ran)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -285,13 +295,31 @@ run_bench_gate() {
     return "$status"
 }
 
+run_analyze() {
+    # The repo's own static determinism & safety linter (repro.analysis).
+    # Stdlib-only, so unlike `lint` it runs identically everywhere — there
+    # is no degraded fallback to silently diverge from CI.
+    python -m repro.analysis.cli src tests benchmarks scripts examples
+}
+
+# Which lint backend run_lint actually used ("ruff", "flake8" or
+# "byte-compile"); `all` reports it so a local byte-compile pass is never
+# mistaken for the ruff run CI performs.
+LINT_BACKEND=""
+
 run_lint() {
     if command -v ruff >/dev/null 2>&1; then
+        LINT_BACKEND="ruff"
+        echo "lint: using ruff"
         ruff check src tests benchmarks scripts examples
     elif command -v flake8 >/dev/null 2>&1; then
+        LINT_BACKEND="flake8"
+        echo "lint: using flake8"
         flake8 --max-line-length=100 src tests benchmarks scripts examples
     else
-        echo "no linter installed; falling back to byte-compilation"
+        LINT_BACKEND="byte-compile"
+        echo "lint: WARNING — no linter installed; DEGRADED to byte-compilation" \
+             "only (CI runs ruff; style/bug rules are NOT checked here)" >&2
         python -m compileall -q src tests benchmarks scripts examples
     fi
 }
@@ -305,10 +333,17 @@ case "${1:-all}" in
     ingest-smoke) run_ingest_smoke ;;
     service-smoke) run_service_smoke ;;
     cluster-replay) run_cluster_replay ;;
+    analyze) run_analyze ;;
     lint) run_lint ;;
-    all) run_lint; run_test; run_bench_smoke ;;
+    all)
+        run_lint
+        run_analyze
+        run_test
+        run_bench_smoke
+        echo "all: ok (lint backend: $LINT_BACKEND; analyze: repro.analysis)"
+        ;;
     *)
-        echo "usage: $0 [test|coverage|bench-smoke|bench-gate|replay-determinism|ingest-smoke|service-smoke|cluster-replay|lint|all]" >&2
+        echo "usage: $0 [test|coverage|bench-smoke|bench-gate|replay-determinism|ingest-smoke|service-smoke|cluster-replay|analyze|lint|all]" >&2
         exit 2
         ;;
 esac

@@ -1,0 +1,91 @@
+"""``grass-experiments analyze`` — run the determinism & safety linter.
+
+Exit codes follow linter convention: ``0`` clean, ``1`` findings, ``2``
+usage error.  ``--format json`` emits the versioned report schema
+(:mod:`repro.analysis.findings`); ``--list-rules`` prints the registry
+with each rule's rationale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import textwrap
+from typing import List, Optional
+
+from repro.analysis.engine import DEFAULT_PATHS, AnalysisError, analyze_paths
+from repro.analysis.findings import findings_to_json
+from repro.analysis.rules import rule_table
+
+__all__ = ["build_analyze_parser", "analyze_main"]
+
+
+def build_analyze_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="grass-experiments analyze",
+        description="Statically enforce the determinism, pickle-safety and "
+        "async-hygiene invariants the replay digest matrix checks "
+        "dynamically. Suppress a deliberate violation with "
+        "'# repro: allow[RULE-ID] reason' on the offending line (or a "
+        "standalone comment on the line above); the reason is mandatory.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files or directories to scan (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format: human-readable text (default) or the "
+        "versioned JSON schema",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry (id, what it catches, why) and exit",
+    )
+    return parser
+
+
+def _print_rules() -> None:
+    for rule_id, synopsis, rationale in rule_table():
+        print(f"{rule_id}  {synopsis}")
+        for line in textwrap.wrap(rationale, width=72):
+            print(f"       {line}")
+
+
+def analyze_main(argv: List[str]) -> int:
+    args = build_analyze_parser().parse_args(argv)
+    if args.list_rules:
+        _print_rules()
+        return 0
+    try:
+        findings, files_scanned = analyze_paths(args.paths)
+    except AnalysisError as exc:
+        print(f"analyze: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        sys.stdout.write(findings_to_json(findings, files_scanned=files_scanned))
+        return 1 if findings else 0
+    for finding in findings:
+        print(finding.format_text())
+    if findings:
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(
+            f"analyze: {len(findings)} {noun} in {files_scanned} files "
+            "(suppress deliberate ones with '# repro: allow[RULE-ID] reason')"
+        )
+        return 1
+    print(f"analyze: clean ({files_scanned} files scanned)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
+    return analyze_main(sys.argv[1:] if argv is None else argv)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,217 @@
+"""Analysis driver: file discovery, scoping, rule dispatch, suppression.
+
+The engine turns a list of paths into sorted :class:`Finding`\\ s:
+
+1. discover ``*.py`` files (``__pycache__`` and the deliberately-violating
+   fixture corpus under ``tests/fixtures/analysis/`` are skipped);
+2. derive each file's *module scope* from its path (``src/repro/...`` →
+   ``repro....``), which decides which rules apply;
+3. run every applicable rule over one shared AST parse;
+4. drop findings suppressed by a well-formed reasoned pragma on the same
+   line (or a standalone pragma on the line above), and surface malformed
+   pragmas as ``PRG001`` findings.
+
+File order, rule order and finding order are all sorted — the analyzer
+holds itself to the determinism bar it enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.pragmas import PRAGMA_RULE_ID, scan_pragmas
+from repro.analysis.rules import RULES, FileContext
+
+__all__ = [
+    "AnalysisError",
+    "DEFAULT_PATHS",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+]
+
+# What `grass-experiments analyze` scans when given no paths: everything
+# the lint pass covers.
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "scripts", "examples")
+
+# The fixture corpus exists to *violate* rules; walking it would drown the
+# report.  Tests analyze those files one by one via analyze_file().
+_SKIPPED_DIR_SUFFIXES = (("tests", "fixtures", "analysis"),)
+
+_RULE_IDS = tuple(rule.id for rule in RULES)
+
+
+class AnalysisError(Exception):
+    """A path argument the analyzer cannot work with."""
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield ``*.py`` files under ``paths`` in sorted order.
+
+    Directories are walked recursively; explicit file arguments are
+    yielded as given (even fixture files — explicit wins).  Missing paths
+    raise :class:`AnalysisError` so a typo'd CI invocation fails loudly
+    instead of passing on an empty scan.
+    """
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        if not os.path.isdir(path):
+            raise AnalysisError(f"no such file or directory: {path}")
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                name
+                for name in dirnames
+                if name != "__pycache__" and not _skipped_dir(dirpath, name)
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def _skipped_dir(dirpath: str, name: str) -> bool:
+    parts = tuple(os.path.normpath(os.path.join(dirpath, name)).split(os.sep))
+    return any(
+        parts[-len(suffix):] == suffix for suffix in _SKIPPED_DIR_SUFFIXES
+    )
+
+
+def _module_of(path: str) -> Tuple[str, ...]:
+    """Module scope of ``path``: the dotted parts after a ``src/`` root.
+
+    ``src/repro/simulator/engine.py`` → ``("repro", "simulator", "engine")``;
+    anything not under a ``src`` directory (tests, benchmarks, scripts) has
+    no module scope and only the everywhere-rules apply.
+    """
+    parts = os.path.normpath(path).split(os.sep)
+    if "src" in parts:
+        tail = parts[parts.index("src") + 1:]
+    elif parts and parts[0] == "repro":
+        tail = parts
+    else:
+        return ()
+    if not tail:
+        return ()
+    tail = list(tail)
+    tail[-1] = tail[-1][:-3] if tail[-1].endswith(".py") else tail[-1]
+    if tail[-1] == "__init__":
+        tail.pop()
+    return tuple(tail)
+
+
+def _is_test_path(path: str) -> bool:
+    parts = os.path.normpath(path).split(os.sep)
+    filename = parts[-1]
+    return (
+        "tests" in parts[:-1]
+        or filename.startswith("test_")
+        or filename == "conftest.py"
+    )
+
+
+def analyze_source(
+    source: str,
+    path: str,
+    *,
+    module: Optional[Tuple[str, ...]] = None,
+    is_test: Optional[bool] = None,
+) -> List[Finding]:
+    """Analyze ``source`` as if it lived at ``path``.
+
+    ``module`` and ``is_test`` override the path-derived scope — this is
+    how fixture files are analyzed under a virtual location (e.g. a
+    fixture exercising a simulator-only rule passes
+    ``module=("repro", "simulator", "fixture")``).
+    """
+    if module is None:
+        module = _module_of(path)
+    if is_test is None:
+        is_test = _is_test_path(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        line = exc.lineno or 1
+        col = (exc.offset or 1) - 1
+        lines = source.splitlines()
+        return [
+            Finding(
+                path=path,
+                line=line,
+                col=max(col, 0),
+                rule_id="SYN000",
+                message=f"file does not parse: {exc.msg}",
+                source=lines[line - 1] if line - 1 < len(lines) else "",
+            )
+        ]
+    ctx = FileContext(
+        path=path,
+        module=module,
+        tree=tree,
+        lines=source.splitlines(),
+        is_test=is_test,
+    )
+    pragmas_by_line, pragma_errors = scan_pragmas(source, _RULE_IDS)
+    findings: List[Finding] = []
+    for error in pragma_errors:
+        findings.append(
+            Finding(
+                path=path,
+                line=error.line,
+                col=error.col,
+                rule_id=PRAGMA_RULE_ID,
+                message=error.message,
+                source=error.source,
+            )
+        )
+    for rule in RULES:
+        if not rule.applies(ctx):
+            continue
+        for line, col, message in rule.visit(ctx):
+            allowed = any(
+                rule.id in pragma.rule_ids
+                for pragma in pragmas_by_line.get(line, ())
+            )
+            if allowed:
+                continue
+            findings.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    col=col,
+                    rule_id=rule.id,
+                    message=message,
+                    source=ctx.source_line(line),
+                )
+            )
+    return sorted(findings)
+
+
+def analyze_file(
+    path: str,
+    *,
+    module: Optional[Tuple[str, ...]] = None,
+    is_test: Optional[bool] = None,
+) -> List[Finding]:
+    """Analyze one file on disk (see :func:`analyze_source` for overrides)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return analyze_source(source, path, module=module, is_test=is_test)
+
+
+def analyze_paths(paths: Sequence[str]) -> Tuple[List[Finding], int]:
+    """Analyze every Python file under ``paths``.
+
+    Returns ``(findings, files_scanned)`` with findings in deterministic
+    (path, line, col, rule) order.
+    """
+    findings: List[Finding] = []
+    files_scanned = 0
+    for path in iter_python_files(paths):
+        files_scanned += 1
+        findings.extend(analyze_file(path))
+    return sorted(findings), files_scanned

@@ -78,6 +78,7 @@ class ApproximationBound:
 
     @property
     def is_exact(self) -> bool:
+        # repro: allow[DET004] exact zero-error sentinel, set literally and never computed
         return self.kind is BoundType.ERROR and self.error == 0.0
 
     def required_tasks(self, total_tasks: int) -> int:

@@ -220,7 +220,7 @@ def ingest_main(argv: List[str]) -> int:
     if args.close_gap < 0:
         print("--close-gap must be >= 0", file=sys.stderr)
         return 2
-    started = time.time()
+    started = time.time()  # repro: allow[DET002] wall timing for display only
     try:
         stats = ingest_trace(
             args.format,
@@ -239,7 +239,7 @@ def ingest_main(argv: List[str]) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    elapsed = time.time() - started
+    elapsed = time.time() - started  # repro: allow[DET002] wall timing for display only
     print(f"Ingested {args.input} ({args.format}) -> {args.output}")
     for label, value in stats.rows():
         print(f"  {label:<24} {value}")
@@ -256,7 +256,7 @@ def replay_main(argv: List[str]) -> int:
         print(str(exc), file=sys.stderr)
         return 2
     sink_factory = parse_sink_spec(plan.sink)
-    started = time.time()
+    started = time.time()  # repro: allow[DET002] wall timing for display only
     try:
         executed = execute(plan)
     except PlanError as exc:  # discovered at execution time (empty trace, ...)
@@ -280,7 +280,7 @@ def replay_main(argv: List[str]) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    elapsed = time.time() - started
+    elapsed = time.time() - started  # repro: allow[DET002] wall timing for display only
     comparison = executed.comparison
     num_jobs = executed.num_jobs
     streamed = executed.streamed
@@ -363,6 +363,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return replay_main(argv[1:])
     if argv and argv[0] == "ingest":
         return ingest_main(argv[1:])
+    if argv and argv[0] == "analyze":
+        # Imported lazily: the static analyzer is a dev/CI tool the
+        # figure/replay verbs never need.
+        from repro.analysis.cli import analyze_main
+
+        return analyze_main(argv[1:])
     if argv and argv[0] == "serve":
         # Imported lazily: the service pulls in asyncio machinery the
         # figure/replay verbs never need.
@@ -381,9 +387,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name in names:
         timings = []
         for _ in range(args.repeat):
-            started = time.time()
+            started = time.time()  # repro: allow[DET002] wall timing for display only
             result = run_figure(name, scale)
-            timings.append(time.time() - started)
+            timings.append(time.time() - started)  # repro: allow[DET002] wall timing for display only
         print(result.format_table())
         if args.repeat == 1:
             print(f"({name} regenerated in {timings[0]:.1f}s)\n")

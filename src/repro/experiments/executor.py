@@ -378,6 +378,7 @@ class AsyncBridge:
         loop = asyncio.get_running_loop()
 
         def schedule(*args: Any) -> None:
+            # repro: allow[ASY202] this IS the sanctioned wrapper the rule routes callers to
             loop.call_soon_threadsafe(callback, *args)
 
         return schedule

@@ -70,6 +70,7 @@ def truncated_pareto_mean(shape: float, scale: float, cap: float) -> float:
     _validate(shape, scale)
     if cap <= scale:
         raise ValueError("cap must exceed the scale")
+    # repro: allow[DET004] analytic special case: the closed form divides by (shape - 1)
     if shape == 1.0:
         body = scale * (1.0 + math.log(cap / scale))
     else:

@@ -65,6 +65,7 @@ class StragglerConfig:
     def mean_multiplier(self) -> float:
         """Analytic mean of the truncated multiplier, E[min(X, cap)]."""
         beta, xm, cap = self.shape, self.scale, self.cap
+        # repro: allow[DET004] analytic special case: the closed form divides by (beta - 1)
         if beta == 1.0:
             body = xm * (1.0 + math.log(cap / xm))
         else:
@@ -111,7 +112,9 @@ class StragglerModel:
         self._seed_prefix = f"{seed}:straggler-root/".encode("utf-8")
         self._scale = config.scale
         self._inv_shape = 1.0 / config.shape
+        # repro: allow[DET004] exact-config fast-path sentinel; jitter is set, not computed
         self._exact = config.jitter == 0.0 and config.shape >= 100.0
+        # repro: allow[DET001] scratch RNG is reseeded via _seed_core before every copy draw
         self._scratch = random.Random()
         # ``random.Random.seed`` is a Python wrapper whose int path reduces to
         # the C base-class seed plus a ``gauss_next`` reset; binding the base

@@ -144,6 +144,7 @@ class BoundedParetoDistribution(Distribution):
     def mean(self) -> float:
         # Mean of a (clipped-at-cap) Pareto: E[min(X, cap)].
         beta, xm, cap = self.shape, self.scale, self.cap
+        # repro: allow[DET004] analytic special case: the closed form divides by (beta - 1)
         if beta == 1.0:
             body = xm * math.log(cap / xm)
         else:

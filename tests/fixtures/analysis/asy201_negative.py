@@ -1,0 +1,14 @@
+"""ASY201 negative: async equivalents and sync-context blocking."""
+import asyncio
+import time
+
+
+async def handler(bridge):
+    await asyncio.sleep(0.1)
+    return await bridge.submit(blocking_work)
+
+
+def blocking_work():
+    time.sleep(0.1)
+    with open("data.txt") as handle:
+        return handle.read()

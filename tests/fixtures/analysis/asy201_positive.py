@@ -1,0 +1,10 @@
+"""ASY201 positive: blocking calls inside async def."""
+import subprocess
+import time
+
+
+async def handler():
+    time.sleep(0.1)
+    subprocess.run(["true"])
+    with open("data.txt") as handle:
+        return handle.read()

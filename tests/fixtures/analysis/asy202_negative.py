@@ -1,0 +1,6 @@
+"""ASY202 negative: cross-thread calls routed through the bridge."""
+from repro.experiments.executor import AsyncBridge
+
+
+def notify(callback):
+    return AsyncBridge.loop_callback(callback)

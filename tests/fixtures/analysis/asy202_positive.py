@@ -1,0 +1,7 @@
+"""ASY202 positive: raw cross-thread loop calls."""
+import asyncio
+
+
+def notify(loop, callback, payload):
+    loop.call_soon_threadsafe(callback, payload)
+    asyncio.run_coroutine_threadsafe(callback(payload), loop)

@@ -1,0 +1,6 @@
+"""DET001 negative: explicitly seeded RNGs are replay-safe."""
+import random
+
+seeded = random.Random(42)
+value = seeded.random()
+pick = seeded.choice([1, 2, 3])

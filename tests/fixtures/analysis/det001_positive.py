@@ -1,0 +1,7 @@
+"""DET001 positive: unseeded RNG construction and module-global RNG calls."""
+import random
+
+rng = random.Random()
+value = random.random()
+pick = random.choice([1, 2, 3])
+system = random.SystemRandom()

@@ -1,0 +1,5 @@
+"""DET002 negative: simulated time threaded explicitly, no wall clock."""
+
+
+def advance(now: float, delta: float) -> float:
+    return now + delta

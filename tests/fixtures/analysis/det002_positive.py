@@ -1,0 +1,12 @@
+"""DET002 positive: wall-clock and OS-entropy reads."""
+import os
+import time
+import uuid
+from datetime import datetime
+from time import perf_counter
+
+started = time.time()
+elapsed = perf_counter()
+stamp = datetime.now()
+token = uuid.uuid4()
+entropy = os.urandom(8)

@@ -1,0 +1,9 @@
+"""DET003 negative: sorted() pins the order before iteration."""
+import glob
+import os
+
+for item in sorted({3, 1, 2}):
+    print(item)
+
+names = [name for name in sorted(os.listdir("."))]
+paths = [path for path in sorted(glob.glob("*.py"))]

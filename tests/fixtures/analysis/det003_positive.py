@@ -1,0 +1,10 @@
+"""DET003 positive: unordered iteration feeding loops and comprehensions."""
+import glob
+import os
+
+for item in {3, 1, 2}:
+    print(item)
+
+names = [name for name in os.listdir(".")]
+paths = [path for path in glob.glob("*.py")]
+unique = [value for value in set([3, 1, 2])]

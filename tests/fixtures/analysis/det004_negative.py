@@ -1,0 +1,10 @@
+"""DET004 negative: isclose and integer comparisons."""
+import math
+
+
+def classify(ratio: float, count: int) -> str:
+    if math.isclose(ratio, 1.0):
+        return "unit"
+    if count == 1:
+        return "single"
+    return "other"

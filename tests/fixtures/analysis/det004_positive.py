@@ -1,0 +1,9 @@
+"""DET004 positive: float equality comparisons."""
+
+
+def classify(ratio: float) -> str:
+    if ratio == 1.0:
+        return "unit"
+    if ratio != 0.5:
+        return "other"
+    return "half"

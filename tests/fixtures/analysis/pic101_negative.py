@@ -1,0 +1,10 @@
+"""PIC101 negative: module-level callables pickle fine."""
+from repro.experiments.executor import ParallelExecutor, RunRequest
+
+
+def merge(results):
+    return results
+
+
+def build():
+    return ParallelExecutor(merge=merge), RunRequest(callback=merge)

@@ -1,0 +1,16 @@
+"""PIC101 positive: unpicklable callables at executor boundaries."""
+from repro.experiments.executor import ParallelExecutor, RunRequest
+
+
+class Harness:
+    def hook(self, value):
+        return value
+
+    def build(self):
+        def local_merge(results):
+            return results
+
+        request = RunRequest(on_result=lambda result: result)
+        executor = ParallelExecutor(merge=local_merge)
+        other = RunRequest(callback=self.hook)
+        return request, executor, other

@@ -1,0 +1,5 @@
+"""PIC102 negative: None defaults constructed per call."""
+
+
+def collect(values=None, table=None, seen=None):
+    return values or [], table or {}, seen or set()

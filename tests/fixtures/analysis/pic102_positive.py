@@ -1,0 +1,5 @@
+"""PIC102 positive: mutable default arguments."""
+
+
+def collect(values=[], table={}, seen=set()):
+    return values, table, seen

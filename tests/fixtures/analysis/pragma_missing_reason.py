@@ -1,0 +1,4 @@
+"""Pragma fixtures: a reason-less pragma suppresses nothing."""
+import random
+
+scratch = random.Random()  # repro: allow[DET001]

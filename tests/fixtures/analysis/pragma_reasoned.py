@@ -1,0 +1,7 @@
+"""Pragma fixtures: reasoned suppressions are honored."""
+import random
+
+scratch = random.Random()  # repro: allow[DET001] reseeded before every draw
+
+# repro: allow[DET001] standalone pragma covers the next code line
+other = random.Random()

@@ -155,7 +155,7 @@ class TestReactiveModel:
 
     def test_ratio_curve_normalised_to_best(self):
         curves = response_time_ratio_curve([0.0, 1.0, 3.0], [1, 3], self.CONFIG)
-        for waves, curve in curves.items():
+        for curve in curves.values():
             ratios = [ratio for _, ratio in curve]
             assert min(ratios) == pytest.approx(1.0)
             assert all(ratio >= 1.0 - 1e-9 for ratio in ratios)

@@ -23,7 +23,7 @@ def make_view(task_specs, bound, remaining_deadline=None, remaining_required=Non
     job = Job(make_job_spec(works, bound))
     job.start(0.0)
     snapshots = []
-    for task_id, (work, running, trem, tnew, copies) in enumerate(task_specs):
+    for task_id, (_work, running, trem, tnew, copies) in enumerate(task_specs):
         task = job.tasks[task_id]
         if running:
             for copy_index in range(copies):

@@ -297,3 +297,81 @@ class TestDeprecationShims:
         tiny = replace(ExperimentScale.quick(), seeds=(1,))
         with pytest.warns(DeprecationWarning, match="ReplayPlan"):
             replay_stream(["late"], trace_path, scale=tiny)
+
+
+class TestDeprecationWindow:
+    """Locks PR 8's deprecation window until the announced removal release.
+
+    The shims survive exactly one release, but "survive" means more than
+    "importable": until they are dropped, ``replay()``/``replay_stream()``
+    must BOTH still emit :class:`DeprecationWarning` (so callers keep
+    getting told to migrate) AND forward to byte-identical digests (so a
+    not-yet-migrated pipeline cannot silently change results).  Breaking
+    either half without touching this test is impossible.
+    """
+
+    def _plan(self, trace_path, **overrides):
+        fields = dict(
+            trace=trace_path, policies=("late",), scale="quick",
+            seeds=(1,), shards=2,
+        )
+        fields.update(overrides)
+        return ReplayPlan(**fields)
+
+    def test_replay_shim_warns_and_forwards_byte_identical(self, trace_path):
+        from repro.workload.traces import load_trace
+
+        plan = self._plan(trace_path)
+        expected = execute(plan).digest
+        with pytest.warns(DeprecationWarning, match="ReplayPlan"):
+            comparison = replay(
+                list(plan.policies),
+                load_trace(trace_path),
+                replay_config=TraceReplayConfig(
+                    framework=plan.framework,
+                    bound_kind=plan.bound_kind,
+                    seed=plan.seed,
+                ),
+                scale=plan_scale(plan),
+                shards=plan.shards,
+            )
+        from repro.experiments.runner import metrics_digest
+
+        assert metrics_digest(comparison) == expected
+
+    def test_replay_stream_shim_warns_and_forwards_byte_identical(
+        self, trace_path
+    ):
+        plan = self._plan(trace_path, stream=True)
+        expected = execute(plan).digest
+        with pytest.warns(DeprecationWarning, match="ReplayPlan"):
+            streamed = replay_stream(
+                list(plan.policies),
+                trace_path,
+                replay_config=TraceReplayConfig(
+                    framework=plan.framework,
+                    bound_kind=plan.bound_kind,
+                    seed=plan.seed,
+                ),
+                scale=plan_scale(plan),
+                shards=plan.shards,
+            )
+        from repro.experiments.runner import metrics_digest
+
+        assert metrics_digest(streamed.comparison) == expected
+
+    def test_warning_is_deprecation_not_future(self, trace_path):
+        # The category matters: DeprecationWarning is silenced for end
+        # users but loud under pytest, exactly the window's contract.
+        from repro.workload.traces import load_trace
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            replay(
+                ["late"],
+                load_trace(trace_path),
+                scale=replace(ExperimentScale.quick(), seeds=(1,)),
+            )
+        categories = {type(w.message) for w in caught
+                      if issubclass(type(w.message), DeprecationWarning)}
+        assert categories == {DeprecationWarning}
