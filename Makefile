@@ -1,7 +1,7 @@
 # Convenience targets; the logic lives in scripts/check.sh so CI and
 # humans run exactly the same commands.
 
-.PHONY: test bench-smoke bench-gate analyze lint check ingest-smoke service-smoke cluster-replay
+.PHONY: test bench-smoke bench-gate analyze lint check ingest-smoke service-smoke cache-smoke cluster-replay
 
 test:
 	./scripts/check.sh test
@@ -28,6 +28,11 @@ ingest-smoke:
 # SERVICE_TENANTS concurrent tenants, digest parity, overload rejections.
 service-smoke:
 	./scripts/check.sh service-smoke
+
+# Content-addressed replay cache smoke: cold/warm digest parity plus the
+# forced-corruption miss path, ending with `cache stats` and `cache verify`.
+cache-smoke:
+	./scripts/check.sh cache-smoke
 
 # The large-scale leg: CLUSTER_JOBS (default 20000) generated jobs replayed
 # fully streaming at workers 1 and 4; the scheduled CI job runs this at

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Repo check harness:
-#   ./scripts/check.sh [test|coverage|bench-smoke|bench-gate|replay-determinism|ingest-smoke|service-smoke|cluster-replay|analyze|lint|all]
+#   ./scripts/check.sh [test|coverage|bench-smoke|bench-gate|replay-determinism|ingest-smoke|service-smoke|cache-smoke|cluster-replay|analyze|lint|all]
 #
 # * test        — the tier-1 suite (PYTHONPATH=src python -m pytest -x -q)
 # * coverage    — the tier-1 suite under pytest-cov with the line-coverage
@@ -8,10 +8,11 @@
 #                 time the floor was set); requires pytest-cov (CI installs
 #                 it; locally the subcommand fails fast if it is missing)
 # * bench-smoke — the engine hot-path and trace-replay micro-benchmarks plus
-#                 one cheap figure bench, the warm-up-cache bench and the
-#                 streaming-replay, spec-streaming and result-sink benches at
-#                 quick scale; refreshes benchmarks/BENCH_engine.json and
-#                 fails if the refresh produced an unreadable file
+#                 one cheap figure bench, the warm-up-cache and replay-cache
+#                 benches and the streaming-replay, spec-streaming and
+#                 result-sink benches at quick scale; refreshes
+#                 benchmarks/BENCH_engine.json and fails if the refresh
+#                 produced an unreadable file
 # * bench-gate  — takes the committed BENCH_engine.json (git show HEAD:...)
 #                 as baseline, reruns bench-smoke plus the engine hot-path
 #                 bench at default scale, fails on a >30%
@@ -36,6 +37,12 @@
 #                 plans plus a SERVICE_BURST (default 24) overload burst,
 #                 and fails unless every streamed digest matches the offline
 #                 execute(plan) and the burst drew explicit 429 rejections
+# * cache-smoke — replays traces/facebook_like.jsonl twice against a fresh
+#                 content-addressed replay cache (cold then warm), fails
+#                 unless the digests agree and the warm run reports zero
+#                 misses, then corrupts a stored entry and requires the
+#                 rerun to survive it (reported miss, digest unchanged) and
+#                 `grass-experiments cache stats|verify` to succeed
 # * cluster-replay — replays the generated cluster tier (CLUSTER_JOBS jobs,
 #                 default 20000) fully streaming at --workers 1 and 4, fails
 #                 unless the digests agree and peak resident jobs stay under
@@ -186,6 +193,70 @@ run_service_smoke() {
     return "$status"
 }
 
+run_cache_smoke() {
+    local trace="traces/facebook_like.jsonl"
+    local tmpdir cachedir entry
+    local cold_digest warm_digest warm_misses post_digest post_misses
+    tmpdir="$(mktemp -d)"
+    cachedir="$tmpdir/cache"
+    replay_cached() {
+        python -m repro.experiments.cli replay \
+            --trace "$trace" --scale quick --shards 2 --seed 0 \
+            --cache "$cachedir"
+    }
+    digest_of() { sed -n 's/^metrics digest: sha256=//p'; }
+    misses_of() { sed -n 's/^replay cache: [0-9]* hits, \([0-9]*\) misses.*/\1/p'; }
+
+    echo "cache-smoke: cold replay (empty cache)"
+    local cold_out warm_out post_out
+    cold_out="$(replay_cached)" || { rm -rf "$tmpdir"; return 1; }
+    cold_digest="$(printf '%s\n' "$cold_out" | digest_of)"
+    echo "cache-smoke: warm replay (populated cache)"
+    warm_out="$(replay_cached)" || { rm -rf "$tmpdir"; return 1; }
+    warm_digest="$(printf '%s\n' "$warm_out" | digest_of)"
+    warm_misses="$(printf '%s\n' "$warm_out" | misses_of)"
+    if [ -z "$cold_digest" ] || [ "$cold_digest" != "$warm_digest" ]; then
+        echo "cache-smoke: FAILED — warm digest differs from cold:" >&2
+        echo "  cold: $cold_digest" >&2
+        echo "  warm: $warm_digest" >&2
+        rm -rf "$tmpdir"
+        return 1
+    fi
+    if [ "$warm_misses" != "0" ]; then
+        echo "cache-smoke: FAILED — warm replay reported $warm_misses misses" >&2
+        rm -rf "$tmpdir"
+        return 1
+    fi
+    echo "  sha256=$cold_digest (warm run: 0 misses)"
+
+    echo "cache-smoke: corrupting one stored entry"
+    entry="$(find "$cachedir" -name '*.json' | sort | head -1)"
+    if [ -z "$entry" ]; then
+        echo "cache-smoke: FAILED — no cache entries written" >&2
+        rm -rf "$tmpdir"
+        return 1
+    fi
+    echo "not json" > "$entry"
+    post_out="$(replay_cached)" || { rm -rf "$tmpdir"; return 1; }
+    post_digest="$(printf '%s\n' "$post_out" | digest_of)"
+    post_misses="$(printf '%s\n' "$post_out" | misses_of)"
+    if [ "$post_digest" != "$cold_digest" ] || [ "$post_misses" = "0" ]; then
+        echo "cache-smoke: FAILED — corrupted entry changed the outcome:" >&2
+        echo "  digest: $post_digest (want $cold_digest)" >&2
+        echo "  misses: $post_misses (want >= 1)" >&2
+        rm -rf "$tmpdir"
+        return 1
+    fi
+    echo "  corruption survived as a miss (digest unchanged)"
+
+    python -m repro.experiments.cli cache stats --cache "$cachedir" \
+        || { rm -rf "$tmpdir"; return 1; }
+    python -m repro.experiments.cli cache verify --cache "$cachedir" --sample 2 \
+        || { rm -rf "$tmpdir"; return 1; }
+    rm -rf "$tmpdir"
+    echo "cache-smoke: ok (cold/warm digests agree; corruption is a reported miss)"
+}
+
 run_cluster_replay() {
     local jobs="${CLUSTER_JOBS:-20000}"
     local max_pct="${RESIDENCY_MAX_PCT:-1}"
@@ -234,6 +305,7 @@ run_bench_smoke() {
         benchmarks/bench_engine_hotpath.py \
         benchmarks/bench_trace_replay.py \
         benchmarks/bench_warmup_cache.py \
+        benchmarks/bench_replay_cache.py \
         benchmarks/bench_stream_replay.py \
         benchmarks/bench_stream_specs.py \
         benchmarks/bench_result_sink.py \
@@ -332,6 +404,7 @@ case "${1:-all}" in
     replay-determinism) run_replay_determinism ;;
     ingest-smoke) run_ingest_smoke ;;
     service-smoke) run_service_smoke ;;
+    cache-smoke) run_cache_smoke ;;
     cluster-replay) run_cluster_replay ;;
     analyze) run_analyze ;;
     lint) run_lint ;;
@@ -343,7 +416,7 @@ case "${1:-all}" in
         echo "all: ok (lint backend: $LINT_BACKEND; analyze: repro.analysis)"
         ;;
     *)
-        echo "usage: $0 [test|coverage|bench-smoke|bench-gate|replay-determinism|ingest-smoke|service-smoke|cluster-replay|analyze|lint|all]" >&2
+        echo "usage: $0 [test|coverage|bench-smoke|bench-gate|replay-determinism|ingest-smoke|service-smoke|cache-smoke|cluster-replay|analyze|lint|all]" >&2
         exit 2
         ;;
 esac

@@ -20,6 +20,9 @@ Examples::
     grass-experiments replay --trace huge.jsonl --stream-specs
     grass-experiments replay --trace huge.jsonl --stream-specs --sink aggregate
     grass-experiments replay --trace big.jsonl --sink jsonl:out/rows
+    grass-experiments replay --trace big.jsonl --cache ~/.grass-cache
+    grass-experiments cache stats --cache ~/.grass-cache
+    grass-experiments cache verify --cache ~/.grass-cache --sample 3
 
 The figure verbs print the text table the corresponding
 :mod:`repro.experiments.figures` function produces; EXPERIMENTS.md records
@@ -82,6 +85,8 @@ __all__ = [
     "build_parser",
     "build_replay_parser",
     "build_ingest_parser",
+    "build_cache_parser",
+    "cache_main",
     "ingest_main",
     "metrics_digest",  # re-exported from the runner for existing importers
     "replay_main",
@@ -248,6 +253,117 @@ def ingest_main(argv: List[str]) -> int:
     return 0
 
 
+def build_cache_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="grass-experiments cache",
+        description="Inspect and maintain a content-addressed replay cache "
+        "(repro.experiments.cache): 'stats' scans the store, 'clear' removes "
+        "every entry, 'verify' re-simulates sampled entries and compares "
+        "their chunk digests (non-zero exit on any mismatch).",
+    )
+    parser.add_argument(
+        "action",
+        choices=("stats", "clear", "verify"),
+        help="stats: entry count/bytes/staleness; clear: delete every entry; "
+        "verify: re-simulate sampled entries and compare digests",
+    )
+    parser.add_argument(
+        "--cache",
+        required=True,
+        metavar="DIR",
+        help="cache directory (the DIR given to replay --cache)",
+    )
+    parser.add_argument(
+        "--sample",
+        type=int,
+        default=3,
+        metavar="N",
+        help="verify: re-simulate up to N entries sampled evenly across the "
+        "store (default 3)",
+    )
+    return parser
+
+
+def cache_main(argv: List[str]) -> int:
+    from repro.experiments.cache import (
+        CACHE_FORMAT_VERSION,
+        ReplayCache,
+        StaleEntryError,
+    )
+    from repro.experiments.runner import resimulate_cached_entry
+
+    args = build_cache_parser().parse_args(argv)
+    if args.sample < 1:
+        print("--sample must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        cache = ReplayCache(args.cache)
+    except OSError as exc:
+        print(f"cannot open replay cache at {args.cache}: {exc}", file=sys.stderr)
+        return 2
+    if args.action == "stats":
+        stats = cache.store_stats()
+        print(f"replay cache at {cache.root}")
+        print(f"  entries              {stats.entries}")
+        print(f"  total bytes          {stats.total_bytes}")
+        print(f"  stale engine entries {stats.stale_engine_entries}")
+        print(f"  invalid files        {stats.invalid_files}")
+        print(f"  engine fingerprint   {cache.engine[:16]}...")
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        noun = "entry" if removed == 1 else "entries"
+        print(f"removed {removed} {noun} from {cache.root}")
+        return 0
+    # verify: sample current-engine entries evenly across the sorted store
+    # and re-simulate each one through the lazy spec-source path; any digest
+    # mismatch is a non-zero exit (the smoke tests' tamper-detection hook).
+    candidates = [
+        (path, payload)
+        for path, payload in cache.iter_entries()
+        if payload is not None
+        and payload.get("version") == CACHE_FORMAT_VERSION
+        and payload.get("engine") == cache.engine
+    ]
+    if not candidates:
+        print(
+            f"no verifiable entries in {cache.root} "
+            "(empty store, stale engine, or invalid files)"
+        )
+        return 0
+    step = max(1, len(candidates) // args.sample)
+    selected = candidates[::step][: args.sample]
+    failures = 0
+    verified = 0
+    for path, payload in selected:
+        chunk = payload.get("chunk")
+        stored = str(chunk.get("digest", "")) if isinstance(chunk, dict) else ""
+        try:
+            fresh = resimulate_cached_entry(payload)
+        except StaleEntryError as exc:
+            print(f"skip     {path.name}: {exc}")
+            continue
+        except (OSError, TraceFormatError, ValueError) as exc:
+            print(f"skip     {path.name}: {exc}")
+            continue
+        if fresh == stored:
+            verified += 1
+            print(f"ok       {path.name}: digest {fresh[:16]}... matches")
+        else:
+            failures += 1
+            print(
+                f"MISMATCH {path.name}: stored {stored[:16]}... "
+                f"recomputed {fresh[:16]}...",
+                file=sys.stderr,
+            )
+    noun = "entry" if len(selected) == 1 else "entries"
+    print(
+        f"verified {verified}/{len(selected)} sampled {noun}, "
+        f"{failures} mismatch(es)"
+    )
+    return 1 if failures else 0
+
+
 def replay_main(argv: List[str]) -> int:
     args = build_replay_parser().parse_args(argv)
     try:
@@ -326,6 +442,8 @@ def replay_main(argv: List[str]) -> int:
             f"{aggregates.speculative_copies:>11}"
         )
     print(f"metrics digest: sha256={metrics_digest(comparison)}")
+    if executed.cache_stats is not None:
+        print(f"replay cache: {executed.cache_stats.summary()} ({plan.cache})")
     if sink_factory.kind == "jsonl":
         print(
             f"per-job rows spilled to {sink_factory.jsonl_dir}/"
@@ -363,6 +481,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return replay_main(argv[1:])
     if argv and argv[0] == "ingest":
         return ingest_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return cache_main(argv[1:])
     if argv and argv[0] == "analyze":
         # Imported lazily: the static analyzer is a dev/CI tool the
         # figure/replay verbs never need.

@@ -200,6 +200,19 @@ class ReplayPlan:
             "metrics digest and summary table are identical for every kind",
         ),
     )
+    #: Content-addressed result-cache directory; ``None`` disables caching.
+    cache: Optional[str] = field(
+        default=None,
+        metadata=_cli(
+            metavar="DIR",
+            help="content-addressed replay cache directory: every (policy, "
+            "seed, shard) chunk is looked up in DIR before simulating and "
+            "stored after, keyed on the plan slice, the trace/cluster "
+            "source fingerprint and the engine-source fingerprint, so "
+            "re-executing a previously executed plan restores every chunk "
+            "from disk with a byte-identical metrics digest",
+        ),
+    )
     #: Execution framework profile the replay simulates.
     framework: str = field(
         default="hadoop",

@@ -19,6 +19,14 @@ from repro.core.policies.base import SpeculationPolicy
 from pathlib import Path
 from typing import Union
 
+from repro.experiments.cache import (
+    CacheCounters,
+    CachedSlice,
+    ReplayCache,
+    StaleEntryError,
+    source_descriptor,
+    source_fingerprint,
+)
 from repro.experiments.executor import ParallelExecutor, RunRequest
 from repro.experiments.plan import ReplayPlan, PlanError
 from repro.experiments.policies import needs_oracle_estimates
@@ -341,6 +349,120 @@ class ComparisonResult:
         return improvements
 
 
+#: Calibration scans memoized by source content fingerprint.  The replay
+#: service probes the same source for every repeated tenant plan; after the
+#: first sight, the scan is O(1) and the cache fast path answers in
+#: milliseconds.  Bounded: a process sees a handful of sources, not many.
+_SCAN_MEMO: Dict[str, object] = {}
+
+
+def _scan_source_fingerprinted(source: "TraceSource", fingerprint: str):
+    scan = _SCAN_MEMO.get(fingerprint)
+    if scan is None:
+        scan = _scan_source(source)
+        if len(_SCAN_MEMO) >= 16:
+            _SCAN_MEMO.clear()
+        _SCAN_MEMO[fingerprint] = scan
+    return scan
+
+
+@dataclass
+class _CacheSession:
+    """One plan execution's view of the replay cache.
+
+    Carries the slice-key fields shared by every (policy, seed, shard)
+    coordinate of the plan plus the coordinates already restored from the
+    cache, so the batch and streaming paths can partition the request grid
+    into hits and misses without re-deriving keys.  The restored collectors
+    are sealed around their cached chunks — byte-identical digest parts,
+    no raw per-job results (aggregate consumers only).
+    """
+
+    cache: ReplayCache
+    base: Dict[str, object]
+    descriptor: Dict[str, object]
+    restored: Dict[tuple, MetricsCollector] = field(default_factory=dict)
+
+    def slice_wire(
+        self, policy: str, seed: int, shard_index: int
+    ) -> Dict[str, object]:
+        wire = dict(self.base)
+        wire.update({"policy": policy, "sim_seed": seed, "shard": shard_index})
+        return wire
+
+    def probe(
+        self, policy_names: Sequence[str], seeds: Sequence[int], num_shards: int
+    ) -> None:
+        for name in policy_names:
+            for seed in seeds:
+                for shard_index in range(num_shards):
+                    cached = self.cache.lookup(
+                        self.slice_wire(name, seed, shard_index)
+                    )
+                    if cached is not None:
+                        self.restored[(name, seed, shard_index)] = cached.restore()
+
+    def hit(
+        self, name: str, seed: int, shard_index: int
+    ) -> Optional[MetricsCollector]:
+        return self.restored.get((name, seed, shard_index))
+
+    def complete(
+        self, policy_names: Sequence[str], seeds: Sequence[int], num_shards: int
+    ) -> bool:
+        return len(self.restored) == len(policy_names) * len(seeds) * num_shards
+
+    def store(
+        self, name: str, seed: int, shard_index: int, metrics: MetricsCollector
+    ) -> None:
+        self.cache.store(
+            self.slice_wire(name, seed, shard_index),
+            CachedSlice.from_metrics(metrics),
+            self.descriptor,
+        )
+
+
+def _open_cache_session(
+    plan: ReplayPlan,
+    scale: ExperimentScale,
+    source: "TraceSource",
+    cache: Optional[ReplayCache] = None,
+):
+    """Build a plan's cache session: ``(session, calibration scan)``.
+
+    The slice key holds exactly the plan fields that can change a slice's
+    digest — and none that cannot (``workers``, streaming mode, sink and
+    ``max_resident_shards`` are wall-clock/memory knobs whose
+    digest-invariance the replay-determinism matrix locks), so one cached
+    execution serves every mode/worker/sink combination of the same
+    experiment.
+    """
+    if cache is None:
+        try:
+            cache = ReplayCache(plan.cache)
+        except OSError as exc:
+            raise PlanError(
+                f"cannot open replay cache at {plan.cache}: {exc}"
+            ) from None
+    fingerprint = source_fingerprint(source)
+    scan = _scan_source_fingerprinted(source, fingerprint)
+    if scan.num_jobs < 1:
+        raise PlanError(f"trace is empty: {plan.source_label}")
+    base = {
+        "source": fingerprint,
+        "num_shards": min(plan.shards, scan.num_jobs),
+        "scale": plan.scale,
+        "num_machines": scale.num_machines,
+        "framework": plan.framework,
+        "bound_kind": plan.bound_kind,
+        "assignment_seed": plan.seed,
+    }
+    session = _CacheSession(
+        cache=cache, base=base, descriptor=source_descriptor(source)
+    )
+    return session, scan
+
+
 def _execute_replay(
     policy_names: Sequence[str],
     trace: Sequence[TraceJob],
@@ -350,6 +472,7 @@ def _execute_replay(
     workers: Optional[int] = None,
     sink: Optional[SinkFactory] = None,
     on_metrics: Optional[MetricsHook] = None,
+    cache: Optional[_CacheSession] = None,
 ) -> ComparisonResult:
     """Replay a trace under the named policies and collect their results.
 
@@ -403,27 +526,37 @@ def _execute_replay(
         base = build_simulation_config(full.workload, scale, seed, oracle)
         return replace(base, stragglers=full.stragglers)
 
+    # Cache partition: coordinates already restored by the session's probe
+    # never become requests; everything else fans out exactly as before, and
+    # the merge below interleaves restored and fresh metrics back into the
+    # same deterministic (policy, seed, shard) order — so the digest is
+    # byte-identical whether 0%, some or 100% of the grid was cached.
     requests = [
         RunRequest(
-            workload=shard.workload,
+            workload=shard_workloads[shard_index].workload,
             config=shard_config(seed, needs_oracle_estimates(name)),
             policy_name=name,
             sink_factory=sink.with_tag(f"{name}-seed{seed}-shard{shard_index}"),
         )
         for name in policy_names
         for seed in scale.seeds
-        for shard_index, shard in enumerate(shard_workloads)
+        for shard_index in range(len(shard_workloads))
+        if cache is None or cache.hit(name, seed, shard_index) is None
     ]
-    all_metrics = ParallelExecutor(workers=workers).run(requests)
+    fresh = iter(ParallelExecutor(workers=workers).run(requests))
 
     comparison = ComparisonResult(workload=full.workload)
-    index = 0
     for name in policy_names:
         run = PolicyRun(policy_name=name)
         for seed in scale.seeds:
-            for shard_index, _shard in enumerate(shard_workloads):
-                metrics = all_metrics[index]
-                index += 1
+            for shard_index in range(len(shard_workloads)):
+                metrics = (
+                    cache.hit(name, seed, shard_index) if cache is not None else None
+                )
+                if metrics is None:
+                    metrics = next(fresh)
+                    if cache is not None:
+                        cache.store(name, seed, shard_index, metrics)
                 if metrics.retains_results:
                     run.results.extend(metrics.results)
                 run.metrics.append(metrics)
@@ -542,6 +675,8 @@ def _execute_replay_stream(
     stream_specs: bool = False,
     sink: Optional[SinkFactory] = None,
     on_metrics: Optional[MetricsHook] = None,
+    cache: Optional[_CacheSession] = None,
+    scan=None,
 ) -> StreamedReplay:
     """Replay a JSONL trace as a bounded-memory streaming pipeline.
 
@@ -627,7 +762,8 @@ def _execute_replay_stream(
     replay_config = replay_config or TraceReplayConfig()
     sink = sink or SinkFactory()
 
-    scan = _scan_source(trace_path)
+    if scan is None:
+        scan = _scan_source(trace_path)
     if not scan.arrival_sorted:
         raise ValueError(
             f"streaming replay requires a trace sorted by (arrival_time, job_id); "
@@ -659,12 +795,41 @@ def _execute_replay_stream(
     collect_metadata = sink.retains_results
     merged_metadata: Dict[int, object] = {}
 
+    # Cache partition in the exact shard-major order the request generator
+    # yields: the merge loop maps completion index -> miss_coords[index], so
+    # the pipeline never assumes a full (policy, seed, shard) grid.  Without
+    # a cache session every coordinate is a miss and behaviour is unchanged.
+    miss_coords: List[tuple] = []
+    shard_misses: Dict[int, int] = {}
+    for shard_index in range(num_shards):
+        for name in policy_names:
+            for seed in scale.seeds:
+                if cache is not None and cache.hit(name, seed, shard_index) is not None:
+                    continue
+                miss_coords.append((name, seed, shard_index))
+                shard_misses[shard_index] = shard_misses.get(shard_index, 0) + 1
+    miss_lookup = dict.fromkeys(miss_coords)
+
+    if cache is not None and on_metrics is not None and cache.restored:
+        # Restored chunks stream out before any simulation completes, in the
+        # same shard-major order fresh completions use; delta consumers (the
+        # service's clients) refold chunks by coordinate, so early hits never
+        # perturb the reassembled digest.
+        for shard_index in range(num_shards):
+            for name in policy_names:
+                for seed in scale.seeds:
+                    metrics = cache.hit(name, seed, shard_index)
+                    if metrics is not None:
+                        on_metrics(name, seed, shard_index, metrics)
+
     def request_stream():
         if stream_specs:
             # Lazy-spec requests: a picklable description per shard, nothing
             # materialised in this process; the executing side streams the
             # shard's specs straight into the engine.
             for shard_index in range(num_shards):
+                if shard_misses.get(shard_index, 0) == 0:
+                    continue  # every coordinate of this shard was cached
                 if isinstance(trace_path, ClusterTierConfig):
                     source = ClusterSpecSource(
                         tier=trace_path,
@@ -682,6 +847,8 @@ def _execute_replay_stream(
                     )
                 for name in policy_names:
                     for seed in scale.seeds:
+                        if (name, seed, shard_index) not in miss_lookup:
+                            continue
                         yield RunRequest(
                             spec_source=source,
                             config=configs[(name, seed)],
@@ -696,6 +863,12 @@ def _execute_replay_stream(
         )
         for shard_index in range(num_shards):
             shard_jobs = next(shard_stream)
+            if shard_misses.get(shard_index, 0) == 0:
+                # Every coordinate of this shard was restored from the cache:
+                # parse past its jobs without adapting them into a workload
+                # (the expensive per-job spec/bound derivation).
+                del shard_jobs
+                continue
             shard = trace_to_workload(
                 shard_jobs,
                 replay_config,
@@ -709,6 +882,8 @@ def _execute_replay_stream(
                 merged_metadata.update(shard.workload.metadata)
             for name in policy_names:
                 for seed in scale.seeds:
+                    if (name, seed, shard_index) not in miss_lookup:
+                        continue
                     yield RunRequest(
                         workload=shard.workload,
                         config=configs[(name, seed)],
@@ -732,24 +907,23 @@ def _execute_replay_stream(
     executor = ParallelExecutor(workers=workers)
     collected: Dict[tuple, MetricsCollector] = {}
     peak_resident_jobs = 0
+    remaining_misses = dict(shard_misses)
     for index, metrics in enumerate(
         executor.run_stream(request_stream(), max_in_flight=window)
     ):
-        shard_index, remainder = divmod(index, per_shard)
-        name_index, seed_index = divmod(remainder, len(scale.seeds))
-        collected[
-            (policy_names[name_index], scale.seeds[seed_index], shard_index)
-        ] = metrics
-        peak_resident_jobs = max(peak_resident_jobs, metrics.peak_resident_jobs)
+        name, seed, shard_index = miss_coords[index]
+        collected[(name, seed, shard_index)] = metrics
+        if cache is not None:
+            cache.store(name, seed, shard_index, metrics)
         if on_metrics is not None:
             # Completion order here is request order — shard-major — so a
             # streaming consumer (the replay service's delta emitter) sees
             # shard k's chunks before any of shard k+1's.
-            on_metrics(
-                policy_names[name_index], scale.seeds[seed_index], shard_index, metrics
-            )
-        if not stream_specs and remainder == per_shard - 1:
-            residency.freed()
+            on_metrics(name, seed, shard_index, metrics)
+        if not stream_specs:
+            remaining_misses[shard_index] -= 1
+            if remaining_misses[shard_index] == 0:
+                residency.freed()
     if stream_specs and collect_metadata:
         # The workers never ship metadata home, so collect it here with one
         # streaming spec-construction pass: O(#jobs) small metadata records,
@@ -779,7 +953,13 @@ def _execute_replay_stream(
         run = PolicyRun(policy_name=name)
         for seed in scale.seeds:
             for shard_index in range(num_shards):
-                metrics = collected[(name, seed, shard_index)]
+                metrics = collected.get((name, seed, shard_index))
+                if metrics is None:
+                    assert cache is not None
+                    metrics = cache.hit(name, seed, shard_index)
+                peak_resident_jobs = max(
+                    peak_resident_jobs, metrics.peak_resident_jobs
+                )
                 if metrics.retains_results:
                     run.results.extend(metrics.results)
                 run.metrics.append(metrics)
@@ -862,6 +1042,9 @@ class ExecutedPlan:
     num_shards: int
     #: Streaming pipeline gauges; ``None`` when the plan ran in batch mode.
     streamed: Optional[StreamedReplay] = None
+    #: Replay-cache session counters (hits/misses/stores/bytes/evictions);
+    #: ``None`` when the plan executed without a cache.
+    cache_stats: Optional[CacheCounters] = None
 
     @property
     def digest(self) -> str:
@@ -898,7 +1081,203 @@ def plan_source(plan: ReplayPlan) -> TraceSource:
     return plan.trace
 
 
-def execute(plan: ReplayPlan, on_metrics: Optional[MetricsHook] = None) -> ExecutedPlan:
+def _executed_from_cache(
+    plan: ReplayPlan,
+    scale: ExperimentScale,
+    replay_config: TraceReplayConfig,
+    scan,
+    num_shards: int,
+    session: _CacheSession,
+    on_metrics: Optional[MetricsHook] = None,
+) -> ExecutedPlan:
+    """Assemble an :class:`ExecutedPlan` entirely from restored chunks.
+
+    The all-hits fast path: no simulation runs and the trace body is never
+    loaded — the restored collectors fold in the deterministic (policy,
+    seed, shard) merge order, so the digest is byte-identical to a real
+    execution.  The comparison's workload is a stand-in (the streaming
+    path's convention): cache-restored executions carry aggregates only,
+    never raw per-job results or metadata.
+    """
+    if on_metrics is not None:
+        # Mirror each mode's live emission order: shard-major under
+        # streaming (completion order), merge order in batch.
+        if plan.streaming:
+            for shard_index in range(num_shards):
+                for name in plan.policies:
+                    for seed in scale.seeds:
+                        on_metrics(
+                            name, seed, shard_index,
+                            session.hit(name, seed, shard_index),
+                        )
+        else:
+            for name in plan.policies:
+                for seed in scale.seeds:
+                    for shard_index in range(num_shards):
+                        on_metrics(
+                            name, seed, shard_index,
+                            session.hit(name, seed, shard_index),
+                        )
+    stand_in = WorkloadConfig(
+        workload="trace",
+        framework=replay_config.framework,
+        num_jobs=scan.num_jobs,
+        bound_kind=replay_config.bound_kind,
+        seed=replay_config.seed,
+        dag_length=replay_config.dag_length,
+        intermediate_task_fraction=replay_config.intermediate_task_fraction,
+        deadline_slack_range=replay_config.deadline_slack_range,
+        error_range=replay_config.error_range,
+    )
+    comparison = ComparisonResult(workload=GeneratedWorkload(config=stand_in))
+    peak_resident_jobs = 0
+    for name in plan.policies:
+        run = PolicyRun(policy_name=name)
+        for seed in scale.seeds:
+            for shard_index in range(num_shards):
+                metrics = session.hit(name, seed, shard_index)
+                peak_resident_jobs = max(
+                    peak_resident_jobs, metrics.peak_resident_jobs
+                )
+                run.metrics.append(metrics)
+        comparison.runs[name] = run
+    streamed = None
+    if plan.streaming:
+        streamed = StreamedReplay(
+            comparison=comparison,
+            num_jobs=scan.num_jobs,
+            num_shards=num_shards,
+            max_resident_shards=plan.max_resident_shards,
+            peak_resident_shards=0,
+            stream_specs=plan.stream_specs,
+            peak_resident_jobs=peak_resident_jobs,
+        )
+    return ExecutedPlan(
+        plan=plan,
+        comparison=comparison,
+        num_jobs=scan.num_jobs,
+        num_shards=num_shards,
+        streamed=streamed,
+        cache_stats=session.cache.counters,
+    )
+
+
+def probe_plan_cache(
+    plan: ReplayPlan,
+    cache: Optional[ReplayCache] = None,
+    on_metrics: Optional[MetricsHook] = None,
+) -> Optional[ExecutedPlan]:
+    """Serve a plan entirely from its replay cache, or return ``None``.
+
+    Never simulates and never loads the trace body: the only O(trace) work
+    is the first-sight source fingerprint and calibration scan, both
+    memoized per content fingerprint — which is what lets the replay
+    service answer a repeated tenant plan before any admission debit.
+    ``None`` means at least one (policy, seed, shard) coordinate is
+    uncached and the plan needs a real execution.
+    """
+    plan.validate()
+    if plan.cache is None and cache is None:
+        return None
+    scale = plan_scale(plan)
+    source = plan_source(plan)
+    session, scan = _open_cache_session(plan, scale, source, cache)
+    num_shards = min(plan.shards, scan.num_jobs)
+    session.probe(plan.policies, scale.seeds, num_shards)
+    if not session.complete(plan.policies, scale.seeds, num_shards):
+        return None
+    replay_config = TraceReplayConfig(
+        framework=plan.framework, bound_kind=plan.bound_kind, seed=plan.seed
+    )
+    return _executed_from_cache(
+        plan, scale, replay_config, scan, num_shards, session, on_metrics
+    )
+
+
+def resimulate_cached_entry(payload: Dict[str, object]) -> str:
+    """Re-run the simulation a cache entry memoizes; fresh chunk digest (hex).
+
+    The ``cache verify`` backend: an entry's slice fields plus its source
+    descriptor fully determine one (policy, seed, shard) simulation, so a
+    digest mismatch against the stored chunk means the cache lied.  The
+    re-run uses the lazy spec-source path — byte-identical specs and engine
+    event order to every other mode (the stream-specs determinism contract).
+
+    Raises :class:`~repro.experiments.cache.StaleEntryError` when the
+    recorded source has moved or its content changed since the entry was
+    written — there is nothing honest to compare against.
+    """
+    from repro.experiments.cache import source_from_descriptor
+
+    slice_wire = payload.get("slice")
+    descriptor = payload.get("source")
+    if not isinstance(slice_wire, dict) or not isinstance(descriptor, dict):
+        raise StaleEntryError("entry has no slice/source fields")
+    source = source_from_descriptor(descriptor)
+    try:
+        fingerprint = source_fingerprint(source)
+    except OSError as exc:
+        raise StaleEntryError(f"source unavailable: {exc}") from None
+    if fingerprint != slice_wire.get("source"):
+        raise StaleEntryError("source content changed since the entry was written")
+    scan = _scan_source_fingerprinted(source, fingerprint)
+    try:
+        policy = str(slice_wire["policy"])
+        sim_seed = int(slice_wire["sim_seed"])
+        shard_index = int(slice_wire["shard"])
+        num_shards = int(slice_wire["num_shards"])
+        num_machines = int(slice_wire["num_machines"])
+        replay_config = TraceReplayConfig(
+            framework=str(slice_wire["framework"]),
+            bound_kind=str(slice_wire["bound_kind"]),
+            seed=int(slice_wire["assignment_seed"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StaleEntryError(f"unreadable slice fields: {exc}") from None
+    framework = framework_profile(replay_config.framework)
+    stragglers = replace(
+        framework.stragglers,
+        cap=straggler_cap_from_ratio(scan.mean_slowest_to_median),
+    )
+    config = SimulationConfig(
+        cluster=ClusterConfig(num_machines=num_machines, seed=sim_seed),
+        stragglers=stragglers,
+        estimator=framework.estimator,
+        seed=sim_seed,
+        oracle_estimates=needs_oracle_estimates(policy),
+    )
+    if isinstance(source, ClusterTierConfig):
+        spec_source = ClusterSpecSource(
+            tier=source,
+            replay_config=replay_config,
+            shard_index=shard_index,
+            num_shards=num_shards,
+        )
+    else:
+        spec_source = TraceSpecSource(
+            trace_path=str(source),
+            replay_config=replay_config,
+            shard_index=shard_index,
+            num_shards=num_shards,
+            total_jobs=scan.num_jobs,
+        )
+    request = RunRequest(
+        spec_source=spec_source,
+        config=config,
+        policy_name=policy,
+        sink_factory=SinkFactory(kind="aggregate").with_tag(
+            f"{policy}-seed{sim_seed}-shard{shard_index}"
+        ),
+    )
+    metrics = ParallelExecutor(workers=1).run([request])[0]
+    return metrics.aggregates.chunks[0].digest.hex()
+
+
+def execute(
+    plan: ReplayPlan,
+    on_metrics: Optional[MetricsHook] = None,
+    cache: Optional[ReplayCache] = None,
+) -> ExecutedPlan:
     """Execute a :class:`ReplayPlan` — the single entry point for replay.
 
     Everything the deprecated ``replay()`` / ``replay_stream()`` pair (and
@@ -909,10 +1288,21 @@ def execute(plan: ReplayPlan, on_metrics: Optional[MetricsHook] = None) -> Execu
     metrics digest is byte-identical across ``workers``, modes and sinks at
     the same shard count.
 
+    With ``plan.cache`` set (or an explicit ``cache`` instance), every
+    (policy, seed, shard) coordinate is looked up before simulating: hits
+    restore their chunks from disk and fold into the same deterministic
+    merge order, misses fan out to the executor as usual and are stored on
+    completion.  An all-hits plan skips simulation *and* the trace load
+    entirely.  The digest is byte-identical with and without the cache;
+    ``cache_stats`` on the result reports the session's counters.  (With a
+    retaining sink, raw per-job results are only present for recomputed
+    slices — cached entries carry aggregates only; every aggregate/digest
+    surface is complete and exact either way.)
+
     ``on_metrics`` is invoked as each (policy, seed, shard) simulation's
     metrics land — shard-major completion order under streaming modes, merge
-    order in batch mode — which is the hook the service's per-tenant delta
-    streaming builds on.
+    order in batch mode; cache hits are emitted up front in the same order —
+    which is the hook the service's per-tenant delta streaming builds on.
 
     Raises :class:`~repro.experiments.plan.PlanError` on an invalid plan,
     ``FileNotFoundError`` / ``OSError`` when a trace path cannot be read and
@@ -925,6 +1315,24 @@ def execute(plan: ReplayPlan, on_metrics: Optional[MetricsHook] = None) -> Execu
     )
     sink = parse_sink_spec(plan.sink)
     source = plan_source(plan)
+
+    session: Optional[_CacheSession] = None
+    scan = None
+    if cache is not None or plan.cache is not None:
+        session, scan = _open_cache_session(plan, scale, source, cache)
+        if plan.streaming and not scan.arrival_sorted:
+            raise ValueError(
+                f"streaming replay requires a trace sorted by "
+                f"(arrival_time, job_id); {source} is not — sort it or use "
+                "batch replay"
+            )
+        num_shards = min(plan.shards, scan.num_jobs)
+        session.probe(plan.policies, scale.seeds, num_shards)
+        if session.complete(plan.policies, scale.seeds, num_shards):
+            return _executed_from_cache(
+                plan, scale, replay_config, scan, num_shards, session, on_metrics
+            )
+
     if plan.streaming:
         streamed = _execute_replay_stream(
             plan.policies,
@@ -937,6 +1345,8 @@ def execute(plan: ReplayPlan, on_metrics: Optional[MetricsHook] = None) -> Execu
             stream_specs=plan.stream_specs,
             sink=sink,
             on_metrics=on_metrics,
+            cache=session,
+            scan=scan,
         )
         return ExecutedPlan(
             plan=plan,
@@ -944,6 +1354,7 @@ def execute(plan: ReplayPlan, on_metrics: Optional[MetricsHook] = None) -> Execu
             num_jobs=streamed.num_jobs,
             num_shards=streamed.num_shards,
             streamed=streamed,
+            cache_stats=session.cache.counters if session is not None else None,
         )
     if isinstance(source, ClusterTierConfig):
         # Batch replay of the generated tier materialises it — fine for
@@ -963,6 +1374,7 @@ def execute(plan: ReplayPlan, on_metrics: Optional[MetricsHook] = None) -> Execu
         workers=plan.workers,
         sink=sink,
         on_metrics=on_metrics,
+        cache=session,
     )
     return ExecutedPlan(
         plan=plan,
@@ -970,6 +1382,7 @@ def execute(plan: ReplayPlan, on_metrics: Optional[MetricsHook] = None) -> Execu
         num_jobs=len(trace),
         num_shards=min(plan.shards, len(trace)),
         streamed=None,
+        cache_stats=session.cache.counters if session is not None else None,
     )
 
 

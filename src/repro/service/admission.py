@@ -27,7 +27,7 @@ submit/dispatch order — which is what the unit tests exercise.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 #: Admission refusal code carried on the wire (HTTP 429 Too Many Requests).
 REJECT_OVERLOAD = 429
@@ -157,3 +157,46 @@ class FairShareAdmission:
         self._virtual_clock = state.virtual_time
         state.virtual_time += cost / state.weight
         return best, item
+
+    # -- release (client disconnects) ------------------------------------------
+
+    def refund(self, tenant: str, cost: float) -> None:
+        """Return a dispatched submission's virtual-time debit to ``tenant``.
+
+        Used when a client disconnects after its submission was dispatched
+        but before it finished: the results go nowhere, and without the
+        refund the tenant's clock would stay advanced by ``cost / weight``
+        — a fair-share penalty for work the service threw away.  The clock
+        is floored at zero, and the idle clamp in :meth:`submit` already
+        prevents a refund from banking credit below the service's virtual
+        clock, so the net effect is "as if the dispatch never happened".
+        """
+        if cost <= 0:
+            raise ValueError("cost must be positive")
+        state = self._tenants.get(tenant)
+        if state is None:
+            return
+        state.virtual_time = max(0.0, state.virtual_time - cost / state.weight)
+
+    def cancel_where(
+        self, predicate: Callable[[object], bool]
+    ) -> List[Tuple[str, object]]:
+        """Drop every *pending* item matching ``predicate``; return them.
+
+        Pending items were never dispatched, so no virtual time was charged
+        — cancellation only frees their backlog slots (per-tenant and
+        service-wide).  Tenants are scanned in sorted order so the returned
+        list is deterministic given the queue contents.
+        """
+        removed: List[Tuple[str, object]] = []
+        for tenant in sorted(self._tenants):
+            state = self._tenants[tenant]
+            kept: Deque[Tuple[int, object, float]] = deque()
+            for entry in state.queue:
+                if predicate(entry[1]):
+                    removed.append((tenant, entry[1]))
+                else:
+                    kept.append(entry)
+            state.queue = kept
+        self._pending_total -= len(removed)
+        return removed

@@ -80,6 +80,8 @@ class PlanOutcome:
     first_delta_seconds: Optional[float] = None
     #: Client-observed submission→done latency.
     total_seconds: float = 0.0
+    #: Replay-cache counters from the ``done`` frame (None: no cache).
+    cache: Optional[Dict[str, int]] = None
 
     def _ordered_chunks(self) -> Dict[Tuple[str, int, int], AggregateChunk]:
         by_key = {(d.policy, d.seed, d.shard): d.chunk for d in self.deltas}
@@ -241,6 +243,7 @@ class ReplayServiceClient:
                     deltas=deltas,
                     first_delta_seconds=first_delta,
                     total_seconds=time.perf_counter() - submitted_at,
+                    cache=message.get("cache"),
                 )
             else:
                 raise ServiceError(f"unknown event {event!r}")

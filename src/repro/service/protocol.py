@@ -32,7 +32,9 @@ Responses (server → client)
         The plan finished; ``digest`` is the policy-tagged metrics digest
         and ``policies``/``seeds``/``num_shards`` give the deterministic
         merge order, so a client can refold its received deltas and verify
-        the digest without trusting the server.
+        the digest without trusting the server.  When the plan ran with a
+        replay cache the frame also carries a ``cache`` object with the
+        hit/miss/bytes counters for the run.
     ``{"event": "error", "id": N, "reason": "..."}``
         The plan was accepted but execution failed (unreadable trace,
         malformed rows, ...); terminal for this submission.
@@ -117,8 +119,9 @@ def done_message(
     seeds: List[int],
     truncated_jobs: int,
     elapsed_ms: float,
+    cache: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    return {
+    message = {
         "event": "done",
         "id": request_id,
         "digest": digest,
@@ -129,6 +132,11 @@ def done_message(
         "truncated_jobs": truncated_jobs,
         "elapsed_ms": elapsed_ms,
     }
+    if cache is not None:
+        # Replay-cache counters for the execution (hits/misses/stores/bytes/
+        # evictions); only present when the plan ran with a cache.
+        message["cache"] = cache
+    return message
 
 
 def error_message(request_id: Optional[int], reason: str) -> Dict[str, Any]:

@@ -31,19 +31,28 @@ Life of a submission:
 Per-connection writes go through an outbox queue drained by a writer task —
 the reader never awaits a slow peer's socket, and deltas from concurrently
 executing submissions interleave cleanly on one connection.
+
+With a replay cache configured (``--cache``), a submission whose every
+(policy, seed, shard) slice is already stored is answered *before*
+admission: the reader probes the cache synchronously on the loop thread
+(pure disk reads, no simulation), streams the restored deltas and the
+``done`` frame, and never debits the tenant's fair share — repeated plans
+cost milliseconds instead of an execution slot.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import logging
 import time
-from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Set, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro.experiments.cache import ReplayCache
 from repro.experiments.executor import AsyncBridge
 from repro.experiments.plan import PlanError, ReplayPlan
-from repro.experiments.runner import execute, plan_scale
+from repro.experiments.runner import execute, plan_scale, probe_plan_cache
 from repro.service import protocol
 from repro.service.admission import (
     REJECT_BAD_PLAN,
@@ -52,6 +61,8 @@ from repro.service.admission import (
 )
 from repro.simulator.sinks import chunk_to_wire
 from repro.workload.traces import TraceFormatError
+
+logger = logging.getLogger(__name__)
 
 
 def _parse_weight(spec: str) -> Tuple[str, float]:
@@ -77,6 +88,9 @@ class ServiceConfig:
     #: Fair-share weights per tenant; unlisted tenants get ``default_weight``.
     tenant_weights: Dict[str, float] = field(default_factory=dict)
     default_weight: float = 1.0
+    #: Content-addressed replay cache directory; ``None`` disables caching.
+    #: Injected into every submitted plan that does not name its own cache.
+    cache_dir: Optional[str] = None
 
 
 @dataclass
@@ -92,7 +106,7 @@ class _Connection:
             self.outbox.put_nowait(protocol.encode_message(message))
 
 
-@dataclass
+@dataclass(eq=False)  # identity semantics: tracked in a set while dispatched
 class _Submission:
     """An admitted plan waiting for (or holding) an execution slot."""
 
@@ -101,6 +115,8 @@ class _Submission:
     plan: ReplayPlan
     connection: _Connection
     submitted_at: float
+    #: Virtual-time charge debited at dispatch; refunded on disconnect.
+    cost: float = 0.0
 
 
 class ReplayService:
@@ -123,10 +139,26 @@ class ReplayService:
         self._inflight = 0
         self._next_id = 1
         self._tasks: Set[asyncio.Task] = set()
+        # Loop-thread cache handle, used only for synchronous full-hit
+        # probes in _handle_submit.  Worker-thread executions build their
+        # own ReplayCache from plan.cache — the store is multi-process
+        # safe, the in-memory LRU is not.
+        self._cache: Optional[ReplayCache] = (
+            ReplayCache(self.config.cache_dir)
+            if self.config.cache_dir is not None
+            else None
+        )
+        #: Dispatched-but-unfinished submissions, so a dropped connection
+        #: can refund their admission debits.
+        self._live: Set[_Submission] = set()
         #: Served-plan counters, for smoke assertions and logs.
         self.completed_plans = 0
         self.failed_plans = 0
         self.rejected_submissions = 0
+        #: Plans answered entirely from the replay cache (no admission).
+        self.cached_plans = 0
+        #: Submissions cancelled or refunded because their client vanished.
+        self.released_submissions = 0
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -184,6 +216,7 @@ class ReplayService:
                     self._handle_frame(connection, line)
         finally:
             connection.open = False
+            self._release_connection(connection)
             connection.outbox.put_nowait(None)
             await writer_task
             writer.close()
@@ -191,6 +224,33 @@ class ReplayService:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    def _release_connection(self, connection: _Connection) -> None:
+        """Give back what a vanished client's submissions were holding.
+
+        Pending submissions are cancelled outright — they were never
+        dispatched, so they only occupied backlog slots.  Dispatched ones
+        cannot be interrupted (the simulation runs on a bridge thread), but
+        their results now go nowhere, so the tenant's virtual-time debit is
+        refunded; without this a tenant that disconnects mid-plan would
+        keep paying fair share for work the service threw away.
+        """
+        cancelled = self._admission.cancel_where(
+            lambda item: isinstance(item, _Submission) and item.connection is connection
+        )
+        refunded = 0
+        for submission in sorted(self._live, key=lambda s: s.request_id):
+            if submission.connection is connection:
+                self._admission.refund(submission.tenant, submission.cost)
+                refunded += 1
+        if cancelled or refunded:
+            self.released_submissions += len(cancelled) + refunded
+            logger.warning(
+                "connection dropped before done: cancelled %d pending, "
+                "refunded %d in-flight submission(s)",
+                len(cancelled),
+                refunded,
+            )
 
     async def _drain_outbox(self, connection: _Connection) -> None:
         while True:
@@ -234,17 +294,22 @@ class ReplayService:
         except PlanError as exc:
             connection.send(protocol.rejected_message(REJECT_BAD_PLAN, str(exc)))
             return
+        if plan.cache is None and self.config.cache_dir is not None:
+            plan = replace(plan, cache=self.config.cache_dir)
+        if plan.cache is not None and self._answer_from_cache(connection, tenant, plan):
+            return
+        scale = plan_scale(plan)
+        # Charge the plan's fan-out: tenants pay virtual time in proportion
+        # to the simulations they request, not the frames they send.
+        cost = float(len(plan.policies) * len(scale.seeds) * plan.shards)
         submission = _Submission(
             request_id=self._next_id,
             tenant=tenant,
             plan=plan,
             connection=connection,
             submitted_at=time.perf_counter(),
+            cost=cost,
         )
-        scale = plan_scale(plan)
-        # Charge the plan's fan-out: tenants pay virtual time in proportion
-        # to the simulations they request, not the frames they send.
-        cost = float(len(plan.policies) * len(scale.seeds) * plan.shards)
         try:
             self._admission.submit(tenant, submission, cost=cost)
         except AdmissionRejected as exc:
@@ -255,6 +320,65 @@ class ReplayService:
         connection.send(protocol.accepted_message(submission.request_id, tenant))
         assert self._wakeup is not None, "service not started"
         self._wakeup.set()
+
+    def _answer_from_cache(
+        self, connection: _Connection, tenant: str, plan: ReplayPlan
+    ) -> bool:
+        """Serve ``plan`` from the replay cache, before any admission debit.
+
+        Returns ``True`` only when *every* (policy, seed, shard) slice was
+        restored — the probe never simulates, so a full hit costs a few
+        disk reads and the tenant's fair share is untouched.  Any probe
+        trouble (unreadable store, missing trace, partial hit) falls back
+        to the normal admitted path, whose error frames are authoritative.
+        """
+        cache = self._cache if plan.cache == self.config.cache_dir else None
+        # The shared cache's counters span the service's lifetime; snapshot
+        # them so the done frame reports this request's activity only.
+        before = cache.counters.as_dict() if cache is not None else None
+        request_id = self._next_id
+        deltas: List[Tuple[str, int, int, Dict[str, Any]]] = []
+
+        def buffer_delta(policy: str, seed: int, shard: int, metrics: Any) -> None:
+            deltas.append(
+                (policy, seed, shard, chunk_to_wire(metrics.aggregates.chunks[-1]))
+            )
+
+        started = time.perf_counter()
+        try:
+            executed = probe_plan_cache(plan, cache=cache, on_metrics=buffer_delta)
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            return False
+        if executed is None:
+            return False
+        self._next_id += 1
+        self.cached_plans += 1
+        self.completed_plans += 1
+        stats = (
+            executed.cache_stats.as_dict() if executed.cache_stats is not None else None
+        )
+        if stats is not None and before is not None:
+            stats = {key: value - before.get(key, 0) for key, value in stats.items()}
+        scale = plan_scale(plan)
+        connection.send(protocol.accepted_message(request_id, tenant))
+        for policy, seed, shard, chunk_wire in deltas:
+            connection.send(protocol.delta_message(request_id, policy, seed, shard, chunk_wire))
+        connection.send(
+            protocol.done_message(
+                request_id=request_id,
+                digest=executed.digest,
+                num_jobs=executed.num_jobs,
+                num_shards=executed.num_shards,
+                policies=list(plan.policies),
+                seeds=list(scale.seeds),
+                truncated_jobs=executed.truncated_jobs,
+                elapsed_ms=(time.perf_counter() - started) * 1000.0,
+                cache=stats,
+            )
+        )
+        return True
 
     # -- dispatch and execution ------------------------------------------------
 
@@ -269,6 +393,7 @@ class ReplayService:
                     break
                 _tenant, submission = picked
                 self._inflight += 1
+                self._live.add(submission)
                 task = asyncio.ensure_future(self._run_submission(submission))
                 self._tasks.add(task)
                 task.add_done_callback(self._on_submission_done)
@@ -314,6 +439,8 @@ class ReplayService:
                 protocol.error_message(request_id, f"internal error: {exc!r}")
             )
             return
+        finally:
+            self._live.discard(submission)
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         scale = plan_scale(submission.plan)
         self.completed_plans += 1
@@ -327,6 +454,9 @@ class ReplayService:
                 seeds=list(scale.seeds),
                 truncated_jobs=executed.truncated_jobs,
                 elapsed_ms=elapsed_ms,
+                cache=executed.cache_stats.as_dict()
+                if executed.cache_stats is not None
+                else None,
             )
         )
 
@@ -372,6 +502,11 @@ def build_serve_parser(parser: Optional[argparse.ArgumentParser] = None) -> argp
         "--weight", action="append", default=[], metavar="TENANT=W",
         help="fair-share weight for a tenant (repeatable; default weight 1)",
     )
+    parser.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="content-addressed replay cache directory; fully cached plans "
+        "are answered without debiting the tenant's fair share",
+    )
     return parser
 
 
@@ -388,6 +523,7 @@ def serve_main(args: argparse.Namespace) -> int:
         max_pending_per_tenant=args.max_pending_per_tenant,
         max_pending_total=args.max_pending_total,
         tenant_weights=weights,
+        cache_dir=args.cache,
     )
 
     async def _serve() -> None:

@@ -430,6 +430,22 @@ class RetainAllSink(ResultSink):
         return self._results
 
 
+class SealedChunkSink(ResultSink):
+    """A sink born sealed around an already-computed aggregate chunk.
+
+    The replay cache's hit path: a restored (policy, seed, shard) chunk
+    becomes a collector whose ``aggregates`` view — and therefore digest
+    part — is byte-identical to the simulation that produced it.  Recording
+    into it raises (a cache hit *is* a finished simulation), and raw per-job
+    results are never cached, so ``retains_results`` stays False.
+    """
+
+    def __init__(self, chunk: AggregateChunk) -> None:
+        super().__init__()
+        self._accumulator = None
+        self._sealed_chunk = chunk
+
+
 class AggregateSink(ResultSink):
     """Fold results into :class:`StreamingAggregates` and drop them.
 

@@ -139,6 +139,41 @@ class TestFairShareAdmission:
         admission.submit("b", 2)
         assert admission.next() == ("b", 2)
 
+    def test_refund_restores_the_virtual_clock(self):
+        admission = FairShareAdmission()
+        admission.submit("a", "a0", cost=4.0)
+        assert admission.next() == ("a", "a0")
+        admission.submit("a", "a1", cost=4.0)
+        admission.submit("b", "b0", cost=1.0)
+        # Without the refund "a" (clock 4.0) would lose the next dispatch to
+        # "b" (clock 0); refunding the dispatched cost puts "a" back at 0
+        # and its earlier arrival breaks the tie.
+        admission.refund("a", 4.0)
+        assert admission.next() == ("a", "a1")
+
+    def test_refund_floors_at_zero_and_ignores_unknown_tenants(self):
+        admission = FairShareAdmission()
+        admission.submit("a", "a0", cost=1.0)
+        admission.next()
+        admission.refund("a", 100.0)  # over-refund cannot bank credit
+        admission.refund("ghost", 1.0)  # unknown tenant: silent no-op
+        admission.submit("a", "a1")
+        admission.submit("b", "b0")
+        assert admission.next() == ("a", "a1")
+
+    def test_cancel_where_drops_pending_and_frees_slots(self):
+        admission = FairShareAdmission(max_pending_per_tenant=2, max_pending_total=3)
+        admission.submit("a", "a0")
+        admission.submit("a", "keep")
+        admission.submit("b", "b0")
+        removed = admission.cancel_where(lambda item: item in ("a0", "b0"))
+        assert removed == [("a", "a0"), ("b", "b0")]
+        assert admission.pending_total == 1
+        # Cancelled entries freed real capacity, per tenant and service-wide.
+        admission.submit("a", "a1")
+        admission.submit("b", "b1")
+        assert admission.next() == ("a", "keep")
+
 
 class TestWireCodecs:
     def test_frame_round_trip(self):
@@ -328,6 +363,60 @@ class TestServiceEndToEnd:
                 thread.join(timeout=10)
         finally:
             loop.close()
+
+
+class TestCacheAndRelease:
+    def test_repeated_plan_is_answered_from_the_replay_cache(self, tmp_path):
+        plan = tiny_plan()
+
+        async def scenario(service, host, port):
+            async with ReplayServiceClient(host, port) as client:
+                first = await client.run_plan(plan, tenant="t0")
+                second = await client.run_plan(plan, tenant="t0")
+            return first, second, service.cached_plans
+
+        first, second, cached_plans = run_service(
+            scenario, ServiceConfig(cache_dir=str(tmp_path / "cache"))
+        )
+        # The second submission never reached admission or the bridge pool:
+        # the server answered it from the store it populated during the first.
+        assert cached_plans == 1
+        assert second.digest == first.digest
+        assert second.verify() == first.digest
+        assert len(second.deltas) == len(first.deltas)
+        assert second.cache is not None
+        assert second.cache["misses"] == 0
+        assert second.cache["hits"] == len(first.deltas)
+        assert first.cache is not None and first.cache["stores"] == len(first.deltas)
+
+    def test_disconnect_before_done_releases_the_admission_debit(self):
+        # Big enough that the server is still simulating when the client
+        # vanishes; the result goes nowhere and the debit must come back.
+        slow_plan = tiny_plan(cluster_jobs=1200)
+
+        async def scenario(service, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                protocol.encode_message(
+                    protocol.submit_message("drop", slow_plan.to_wire())
+                )
+            )
+            await writer.drain()
+            accepted = protocol.decode_message(await reader.readline())
+            assert accepted["event"] == "accepted"
+            writer.close()
+            await writer.wait_closed()
+            for _ in range(100):
+                if service.released_submissions:
+                    break
+                await asyncio.sleep(0.05)
+            assert service.released_submissions == 1
+            # Whether the submission was still pending (cancelled) or already
+            # dispatched (refunded), the tenant's fair share is whole again.
+            assert service._admission.pending_total == 0
+            assert service._admission._tenants["drop"].virtual_time < 1e-9
+
+        run_service(scenario)
 
 
 class TestLoadDriver:
